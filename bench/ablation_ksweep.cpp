@@ -1,0 +1,57 @@
+// Ablation: force k away from the Theorem 1 optimum and watch energy and
+// lifespan degrade on both sides — empirical support for k_opt ≈ 5 in the
+// paper's setting.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/optimal_k.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace qlec;
+  std::printf("=== Ablation: cluster count k vs the Theorem 1 optimum "
+              "===\n");
+  std::printf("QLEC with force_k, lambda=4, seeds=%zu\n\n", bench::seeds());
+
+  ThreadPool pool;
+  TextTable t({"k", "energy (J)", "lifespan FND (rounds)", "PDR",
+               "heads/round"});
+  const int ks[] = {1, 2, 3, 5, 8, 12, 16, 24};
+  for (const int k : ks) {
+    ExperimentConfig cfg = bench::lifespan_config(4.0);
+    cfg.protocol.qlec.force_k = k;
+    const AggregatedMetrics m = run_experiment("qlec", cfg, &pool);
+    t.add_row({std::to_string(k), fmt_double(m.total_energy.mean(), 4),
+               fmt_pm(m.first_death.mean(), m.first_death.ci95_halfwidth(),
+                      1),
+               fmt_double(m.pdr.mean(), 3),
+               fmt_double(m.heads_per_round.mean(), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Under Table 2's ratio compression total uplink bits do not "
+              "depend on k, so\nenergy falls monotonically with k — the "
+              "Theorem 1 optimum needs Eq. 6's\nfixed-summary aggregation "
+              "(next table).\n\n");
+
+  // Eq. 6 regime: fixed L-bit fused summary per head per round, one packet
+  // per node per round (lambda = slots_per_round) — the exact setting of
+  // the Theorem 1 derivation. Energy should now be minimized near k_opt.
+  std::printf("--- Eq. 6 regime: fixed-summary aggregation, ~1 packet/node/"
+              "round ---\n");
+  TextTable t2({"k", "energy (J)", "energy/round (J)", "PDR"});
+  for (const int k : ks) {
+    ExperimentConfig cfg = bench::paper_config(20.0);
+    cfg.sim.aggregation = Aggregation::kFixedSummary;
+    cfg.protocol.qlec.force_k = k;
+    const AggregatedMetrics m = run_experiment("qlec", cfg, &pool);
+    t2.add_row({std::to_string(k), fmt_double(m.total_energy.mean(), 4),
+                fmt_sci(m.total_energy.mean() / 20.0, 3),
+                fmt_double(m.pdr.mean(), 3)});
+  }
+  std::printf("%s\n", t2.render().c_str());
+  std::printf("The analytic Eq. 6 curve for this geometry bottoms out at "
+              "k_opt ~ 5\n(see thm1_kopt); the simulated minimum should "
+              "land nearby.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Mobility stress test. Section 3.1 motivates per-round re-election with
+// node mobility; this ablation moves the nodes (random waypoint) at
+// increasing speeds and checks how each protocol's delivery rate degrades.
+// QLEC's per-link ACK statistics go stale faster as nodes move, so this
+// also bounds how much of its PDR edge survives churn.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace qlec;
+  std::printf("=== Ablation: node mobility (random waypoint) ===\n");
+  std::printf("lambda=4, speeds in m/round, seeds=%zu\n\n", bench::seeds());
+
+  ThreadPool pool;
+  TextTable t({"speed", "protocol", "PDR", "energy (J)",
+               "latency (slots)"});
+  for (const double speed : {0.0, 5.0, 15.0, 40.0}) {
+    for (const char* name : {"qlec", "fcm", "kmeans"}) {
+      ExperimentConfig cfg = bench::paper_config(4.0);
+      if (speed > 0.0) {
+        cfg.sim.mobility.kind = MobilityKind::kRandomWaypoint;
+        cfg.sim.mobility.speed = speed;
+      }
+      const AggregatedMetrics m = run_experiment(name, cfg, &pool);
+      t.add_row({fmt_double(speed, 0), m.protocol,
+                 fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
+                 fmt_double(m.total_energy.mean(), 3),
+                 fmt_double(m.mean_latency.mean(), 1)});
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Per-round re-election absorbs moderate drift; very fast "
+              "motion invalidates\nboth cluster geometry and learned link "
+              "estimates within a round.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Grand comparison: every protocol in the registry on every headline
+// metric, at one idle and one congested operating point. Not a paper
+// figure — a regression table for the whole protocol zoo (QLEC, the two
+// Fig. 3 comparators, and the Related-Work baselines LEACH/DEEC/HEED/
+// TL-LEACH, plus the no-clustering sanity baseline).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace qlec;
+  ThreadPool pool;
+  for (const double lambda : {8.0, 2.0}) {
+    std::printf("=== All protocols at lambda=%.0f (%s) ===\n", lambda,
+                lambda > 4.0 ? "idle" : "congested");
+    TextTable t({"protocol", "PDR", "energy (J)", "latency (slots)",
+                 "heads/round", "lifespan FND"});
+    for (const std::string& name : protocol_names()) {
+      const AggregatedMetrics m =
+          run_experiment(name, bench::paper_config(lambda), &pool);
+      const AggregatedMetrics life =
+          run_experiment(name, bench::lifespan_config(lambda), &pool);
+      t.add_row({m.protocol,
+                 fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
+                 fmt_double(m.total_energy.mean(), 3),
+                 fmt_double(m.mean_latency.mean(), 1),
+                 fmt_double(m.heads_per_round.mean(), 1),
+                 fmt_pm(life.first_death.mean(),
+                        life.first_death.ci95_halfwidth(), 0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  return 0;
+}

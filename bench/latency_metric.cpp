@@ -1,0 +1,42 @@
+// Transmission latency vs congestion. The abstract and §5 claim QLEC
+// outperforms the FCM comparator and k-means on "transmission latency"
+// (no dedicated figure in the paper); this bench regenerates that series:
+// mean end-to-end delay (slots) of delivered packets across the lambda
+// sweep. Expected shape: FCM pays extra relay hops; everyone's latency
+// rises as queues build.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace qlec;
+  std::printf("=== Transmission latency vs lambda (abstract claim) ===\n");
+  std::printf("N=100, M=200, R=20 rounds, seeds=%zu\n\n", bench::seeds());
+
+  ThreadPool pool;
+  std::vector<SweepSeries> series;
+  for (const std::string& name : bench::figure3_protocols()) {
+    SweepSeries s;
+    for (const double lambda : bench::lambda_sweep()) {
+      const AggregatedMetrics m =
+          run_experiment(name, bench::paper_config(lambda), &pool);
+      if (s.protocol.empty()) s.protocol = m.protocol;
+      s.x.push_back(lambda);
+      s.mean.push_back(m.mean_latency.mean());
+      s.ci95.push_back(m.mean_latency.ci95_halfwidth());
+    }
+    series.push_back(std::move(s));
+  }
+
+  std::printf("%s\n",
+              render_sweep_table("lambda", "latency (slots)", series)
+                  .c_str());
+  std::printf("%s\n",
+              render_sweep_chart("Mean delivery latency", "lambda (slots)",
+                                 "latency (slots)", series)
+                  .c_str());
+  std::printf("csv:\n%s", sweep_to_csv(series).c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scaling study: how QLEC behaves as the network grows. Theorem 1 says
+// k_opt ~ N^(3/5); this sweep confirms the protocol tracks it and that
+// PDR / per-packet energy stay stable while the Q-table work grows with
+// k (the O(kX) cost in practice).
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/optimal_k.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace qlec;
+  std::printf("=== Scaling: QLEC vs network size (lambda=4) ===\n");
+  std::printf("seeds=%zu; k_opt per Theorem 1, d_toBS from the deployment"
+              "\n\n", bench::seeds());
+
+  ThreadPool pool;
+  TextTable t({"N", "k_opt (thm1)", "heads/round", "PDR", "energy (J)",
+               "energy/packet (mJ)", "Q evals / packet"});
+  for (const std::size_t n : {50u, 100u, 200u, 400u}) {
+    ExperimentConfig cfg = bench::paper_config(4.0);
+    cfg.scenario.n = n;
+    if (bench::fast_mode()) cfg.sim.rounds = 8;
+    const double k_thm =
+        optimal_cluster_count(n, cfg.scenario.m_side,
+                              0.665 * cfg.scenario.m_side);
+    RunningStats pdr, energy, heads;
+    double packets = 0.0, q_evals = 0.0;
+    for (const SimResult& r : run_replications("qlec", cfg, &pool)) {
+      pdr.add(r.pdr());
+      energy.add(r.total_energy_consumed);
+      heads.add(r.heads_per_round.mean());
+      packets += static_cast<double>(r.generated);
+      q_evals += static_cast<double>(r.q_evaluations);
+    }
+    t.add_row({std::to_string(n), fmt_double(k_thm, 1),
+               fmt_double(heads.mean(), 1),
+               fmt_pm(pdr.mean(), pdr.ci95_halfwidth(), 3),
+               fmt_double(energy.mean(), 3),
+               fmt_double(1000.0 * energy.mean() * cfg.seeds / packets, 3),
+               fmt_double(q_evals / packets, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("k_opt grows ~ N^0.6, so Q evaluations per packet (one per "
+              "candidate head,\nAlgorithm 4) grow sublinearly with N while "
+              "per-packet energy stays flat.\nNote: aggregate head service "
+              "capacity grows ~ N^0.6 too, so at a fixed\nper-head service "
+              "rate the lambda=4 load saturates the caches past N ~ 300\n"
+              "(visible as PDR decay) — density scaling needs "
+              "service_per_slot ~ N^0.4.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Self-checking reproduction: runs the headline experiments at reduced
+// seed counts and asserts the SHAPE claims recorded in EXPERIMENTS.md,
+// printing PASS/FAIL per claim. A change that silently breaks the
+// reproduction (ordering flips, k_opt drift, evenness regression) fails
+// here before anyone re-reads the figures.
+#include <cstdio>
+
+#include "analysis/heatmap.hpp"
+#include "bench_common.hpp"
+#include "core/optimal_k.hpp"
+#include "dataset/synthetic_gppd.hpp"
+#include "sim/protocols/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(const char* claim, bool ok, const std::string& detail) {
+  std::printf("[%s] %-58s %s\n", ok ? "PASS" : "FAIL", claim,
+              detail.c_str());
+  if (!ok) ++g_failures;
+}
+
+std::string num2(double a, double b) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "(%.3f vs %.3f)", a, b);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  using namespace qlec;
+  std::printf("=== Reproduction shape check (EXPERIMENTS.md claims) "
+              "===\n\n");
+  ThreadPool pool;
+
+  // THM1: k_opt ≈ 5 in the paper's setting (surface sink).
+  {
+    const double k = optimal_cluster_count(100, 200.0, 133.0);
+    check("THM1: k_opt ~ 5 for N=100, M=200, surface sink",
+          k > 4.0 && k < 6.5, num2(k, 5.0));
+    const std::size_t brute =
+        brute_force_optimal_k(4000.0, 100, 200.0, 133.0, 64);
+    check("THM1: closed form matches brute force (+-1)",
+          std::llabs(static_cast<long long>(brute) -
+                     std::llround(k)) <= 1,
+          num2(static_cast<double>(brute), k));
+  }
+
+  // FIG3A: congested PDR ordering QLEC >= FCM, k-means; idle PDR ~ 1.
+  {
+    const ExperimentConfig congested = bench::paper_config(2.0);
+    const double q = run_experiment("qlec", congested, &pool).pdr.mean();
+    const double f = run_experiment("fcm", congested, &pool).pdr.mean();
+    const double k = run_experiment("kmeans", congested, &pool).pdr.mean();
+    check("FIG3A: QLEC holds highest PDR when congested",
+          q >= f - 0.01 && q >= k - 0.01, num2(q, std::max(f, k)));
+    const double q_idle =
+        run_experiment("qlec", bench::paper_config(16.0), &pool)
+            .pdr.mean();
+    check("FIG3A: QLEC PDR ~ 1 when idle", q_idle > 0.99,
+          num2(q_idle, 1.0));
+  }
+
+  // FIG3B: QLEC consumes less than k-means (surface sink).
+  {
+    const ExperimentConfig cfg = bench::paper_config(8.0);
+    const double q = run_experiment("qlec", cfg, &pool).total_energy.mean();
+    const double k =
+        run_experiment("kmeans", cfg, &pool).total_energy.mean();
+    check("FIG3B: QLEC energy below k-means", q < k, num2(q, k));
+  }
+
+  // FIG3B companion: FCM most expensive with the center sink.
+  {
+    ExperimentConfig cfg = bench::paper_config(8.0);
+    cfg.scenario.bs = BsPlacement::kCenter;
+    cfg.protocol.k = 5;
+    cfg.protocol.qlec.force_k = 5;
+    // Against the geometric baseline the relay overhead is unambiguous;
+    // QLEC vs FCM is within noise at reduced scales (EXPERIMENTS.md).
+    const double f = run_experiment("fcm", cfg, &pool).total_energy.mean();
+    const double k =
+        run_experiment("kmeans", cfg, &pool).total_energy.mean();
+    check("FIG3B: FCM relaying costs more than k-means (center sink)",
+          f > k, num2(f, k));
+  }
+
+  // FIG3C: QLEC lifespan beats the energy-blind baselines by >= 2x.
+  {
+    const ExperimentConfig cfg = bench::lifespan_config(4.0);
+    const double q = run_experiment("qlec", cfg, &pool).first_death.mean();
+    const double k =
+        run_experiment("kmeans", cfg, &pool).first_death.mean();
+    const double l =
+        run_experiment("leach", cfg, &pool).first_death.mean();
+    check("FIG3C: QLEC lifespan >= 2x k-means", q >= 2.0 * k, num2(q, k));
+    check("FIG3C: QLEC lifespan > LEACH", q > l, num2(q, l));
+  }
+
+  // FIG4: QLEC spreads consumption more evenly than k-means on the
+  // dataset, at lower total energy.
+  {
+    SyntheticGppdConfig gen;
+    gen.plants = bench::fast_mode() ? 400 : 1200;
+    const auto plants = generate_synthetic_gppd(gen);
+    const auto run_one = [&](const char* name) {
+      Network net = dataset_to_network(plants);
+      ProtocolOptions opt;
+      opt.qlec.total_rounds = 10;
+      opt.qlec.force_k = 120;
+      opt.k = 120;
+      const auto proto = make_protocol(name, net, opt);
+      SimConfig sim;
+      sim.rounds = 10;
+      sim.slots_per_round = 8;
+      sim.mean_interarrival = 8.0;
+      Rng rng(99);
+      const SimResult r = run_simulation(net, *proto, sim, rng);
+      struct Out {
+        double cv, energy;
+      };
+      return Out{compute_evenness(r.per_node_rate).cv,
+                 r.total_energy_consumed};
+    };
+    const auto q = run_one("qlec");
+    const auto k = run_one("kmeans");
+    check("FIG4: QLEC consumption-rate CV below k-means", q.cv < k.cv,
+          num2(q.cv, k.cv));
+    check("FIG4: QLEC dataset energy below k-means", q.energy < k.energy,
+          num2(q.energy, k.energy));
+  }
+
+  // LAT: FCM latency worst (multi-hop relays).
+  {
+    const ExperimentConfig cfg = bench::paper_config(2.0);
+    const double q =
+        run_experiment("qlec", cfg, &pool).mean_latency.mean();
+    const double f = run_experiment("fcm", cfg, &pool).mean_latency.mean();
+    check("LAT: FCM latency above QLEC when congested", f > q,
+          num2(f, q));
+  }
+
+  std::printf("\n%s (%d failure%s)\n",
+              g_failures == 0 ? "ALL SHAPE CLAIMS REPRODUCED"
+                              : "SHAPE REGRESSIONS DETECTED",
+              g_failures, g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Mountainous forest-monitoring scenario (Section 1's other motivation):
+// sensors follow a ridged terrain height-field, batteries are hard to
+// replace, so lifespan is the metric that matters. Runs a lifespan-mode
+// comparison (rounds until the first node dies) between QLEC and the
+// baselines.
+//
+//   ./build/examples/mountain_deployment [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qlec;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  ExperimentConfig cfg;
+  cfg.deployment = "terrain";
+  cfg.scenario.n = 100;
+  cfg.scenario.m_side = 200.0;
+  // Batteries sized so the run reaches first-node-death within the
+  // horizon; the paper's lifespan experiment equivalently raises the
+  // death line.
+  cfg.scenario.initial_energy = 3.0;
+  cfg.sim.rounds = 600;
+  cfg.sim.slots_per_round = 15;
+  cfg.sim.mean_interarrival = 4.0;
+  cfg.sim.stop_at_first_death = true;
+  cfg.seeds = 4;
+  cfg.base_seed = seed;
+  // Eq. 2 / Eq. 4 schedule R: the a-priori lifespan estimate.
+  cfg.protocol.qlec.total_rounds = 60;
+
+  std::printf("Mountain deployment: ridged terrain, %zu sensors, "
+              "lifespan mode (run until first node death)\n\n",
+              cfg.scenario.n);
+
+  TextTable table({"protocol", "lifespan FND (rounds)", "PDR until FND",
+                   "energy (J)"});
+  for (const char* name : {"qlec", "deec", "leach", "kmeans"}) {
+    const AggregatedMetrics m = run_experiment(name, cfg);
+    table.add_row({m.protocol,
+                   fmt_pm(m.first_death.mean(),
+                          m.first_death.ci95_halfwidth(), 1),
+                   fmt_double(m.pdr.mean(), 3),
+                   fmt_double(m.total_energy.mean(), 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Energy-aware rotation (DEEC-family) delays the first death; "
+              "QLEC's\nQ-routing additionally steers load away from "
+              "low-energy heads.\n");
+  return 0;
+}

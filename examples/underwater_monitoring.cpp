@@ -1,0 +1,56 @@
+// Underwater monitoring scenario — the paper's motivating 3-D deployment
+// (Section 1: "underwater regions ... node deployment is often not flat").
+// Sensors float through a 150 m water column; the sink is a surface buoy;
+// acoustic links are far less reliable than terrestrial RF. Compares QLEC
+// against the FCM comparator and k-means under these harsher links.
+//
+//   ./build/examples/underwater_monitoring [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qlec;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  ExperimentConfig cfg;
+  cfg.scenario.n = 120;
+  cfg.scenario.m_side = 150.0;  // 150 m water column
+  cfg.scenario.initial_energy = 5.0;
+  cfg.scenario.bs = BsPlacement::kTopFaceCenter;  // surface buoy
+  cfg.sim.rounds = 20;
+  cfg.sim.slots_per_round = 20;
+  cfg.sim.mean_interarrival = 3.0;
+  // Acoustic channel: shorter reliable range, higher residual loss.
+  cfg.sim.link.d_ref = 90.0;
+  cfg.sim.link.p_floor = 0.01;
+  cfg.sim.link.bs_reliability_factor = 0.7;
+  cfg.sim.max_retries = 2;
+  cfg.seeds = 4;
+  cfg.base_seed = seed;
+  cfg.protocol.qlec.total_rounds = cfg.sim.rounds;
+
+  std::printf("Underwater monitoring: %zu sensors in a %.0f m column, "
+              "surface sink, lossy acoustic links\n\n",
+              cfg.scenario.n, cfg.scenario.m_side);
+
+  TextTable table({"protocol", "PDR", "energy (J)", "latency (slots)",
+                   "heads/round"});
+  for (const char* name : {"qlec", "fcm", "kmeans"}) {
+    const AggregatedMetrics m = run_experiment(name, cfg);
+    table.add_row({m.protocol,
+                   fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
+                   fmt_pm(m.total_energy.mean(),
+                          m.total_energy.ci95_halfwidth(), 3),
+                   fmt_double(m.mean_latency.mean(), 1),
+                   fmt_double(m.heads_per_round.mean(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Q-learning lets members avoid heads behind bad acoustic "
+              "links,\nwhich is where the PDR gap comes from.\n");
+  return 0;
+}

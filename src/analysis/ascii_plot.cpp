@@ -1,0 +1,95 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace qlec {
+namespace {
+
+constexpr char kMarkers[] = {'*', 'o', '+', 'x', '#', '@'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return hi - lo; }
+};
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& opt) {
+  Range xr, yr;
+  for (const Series& s : series) {
+    for (const double v : s.x) xr.include(v);
+    for (const double v : s.y) yr.include(v);
+  }
+  if (!xr.valid() || !yr.valid()) return "(no data)\n";
+  if (!std::isnan(opt.y_min)) yr.lo = opt.y_min;
+  if (!std::isnan(opt.y_max)) yr.hi = opt.y_max;
+  if (xr.span() <= 0.0) xr.hi = xr.lo + 1.0;
+  if (yr.span() <= 0.0) yr.hi = yr.lo + 1.0;
+
+  const std::size_t w = std::max<std::size_t>(opt.width, 8);
+  const std::size_t h = std::max<std::size_t>(opt.height, 4);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % (sizeof kMarkers)];
+    const Series& s = series[si];
+    const std::size_t n = std::min(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fx = (s.x[i] - xr.lo) / xr.span();
+      const double fy = (s.y[i] - yr.lo) / yr.span();
+      if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0) continue;
+      const auto cx = static_cast<std::size_t>(
+          std::min(fx * static_cast<double>(w - 1), static_cast<double>(w - 1)));
+      const auto cy = static_cast<std::size_t>(
+          std::min(fy * static_cast<double>(h - 1), static_cast<double>(h - 1)));
+      grid[h - 1 - cy][cx] = mark;  // y grows upward
+    }
+  }
+
+  std::ostringstream out;
+  if (!opt.title.empty()) out << opt.title << '\n';
+  char buf[64];
+  for (std::size_t r = 0; r < h; ++r) {
+    // y tick labels on first/middle/last rows.
+    double ytick = std::numeric_limits<double>::quiet_NaN();
+    if (r == 0) ytick = yr.hi;
+    else if (r == h - 1) ytick = yr.lo;
+    else if (r == h / 2) ytick = yr.lo + 0.5 * yr.span();
+    if (!std::isnan(ytick)) {
+      std::snprintf(buf, sizeof buf, "%10.3g |", ytick);
+    } else {
+      std::snprintf(buf, sizeof buf, "%10s |", "");
+    }
+    out << buf << grid[r] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(w, '-') << '\n';
+  std::snprintf(buf, sizeof buf, "%10.3g", xr.lo);
+  out << ' ' << buf;
+  std::snprintf(buf, sizeof buf, "%.3g", xr.hi);
+  const std::string hi_str = buf;
+  const std::size_t pad =
+      w + 1 > hi_str.size() + 11 ? w + 1 - hi_str.size() : 1;
+  out << std::string(pad, ' ') << hi_str << '\n';
+  if (!opt.x_label.empty() || !opt.y_label.empty()) {
+    out << "   x: " << opt.x_label << "   y: " << opt.y_label << '\n';
+  }
+  out << "   legend:";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    out << "  " << kMarkers[si % (sizeof kMarkers)] << " = "
+        << series[si].label;
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace qlec

@@ -1,0 +1,34 @@
+// Terminal line charts so each figure bench can render the same series the
+// paper plots, directly in its stdout.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qlec {
+
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  std::size_t width = 64;   ///< plot-area columns
+  std::size_t height = 18;  ///< plot-area rows
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  /// Force the y range; NaN entries auto-fit to the data.
+  double y_min = std::numeric_limits<double>::quiet_NaN();
+  double y_max = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Renders up to 6 series as an ASCII scatter/line chart with a legend.
+/// Points in the same cell show the later series' marker.
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& opt = {});
+
+}  // namespace qlec

@@ -1,0 +1,61 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace qlec {
+
+std::string render_sweep_table(const std::string& x_name,
+                               const std::string& metric_name,
+                               const std::vector<SweepSeries>& series,
+                               int precision) {
+  TextTable table({x_name, "protocol", metric_name + " (mean +/- ci95)"});
+  // Row-major by x so algorithms at the same operating point sit together.
+  std::size_t max_len = 0;
+  for (const SweepSeries& s : series) max_len = std::max(max_len, s.x.size());
+  for (std::size_t i = 0; i < max_len; ++i) {
+    for (const SweepSeries& s : series) {
+      if (i >= s.x.size()) continue;
+      table.add_row({fmt_double(s.x[i], 2), s.protocol,
+                     fmt_pm(s.mean[i], s.ci95[i], precision)});
+    }
+  }
+  return table.render();
+}
+
+std::string sweep_to_csv(const std::vector<SweepSeries>& series) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(CsvRow{"x", "protocol", "mean", "ci95"});
+  for (const SweepSeries& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      w.write_row(CsvRow{fmt_sci(s.x[i], 6), s.protocol,
+                         fmt_sci(s.mean[i], 6), fmt_sci(s.ci95[i], 6)});
+    }
+  }
+  return out.str();
+}
+
+std::string render_sweep_chart(const std::string& title,
+                               const std::string& x_name,
+                               const std::string& metric_name,
+                               const std::vector<SweepSeries>& series) {
+  std::vector<Series> chart;
+  chart.reserve(series.size());
+  for (const SweepSeries& s : series)
+    chart.push_back(Series{s.protocol, s.x, s.mean});
+  ChartOptions opt;
+  opt.title = title;
+  opt.x_label = x_name;
+  opt.y_label = metric_name;
+  return render_chart(chart, opt);
+}
+
+MetricPoint metric_point(const RunningStats& stats) {
+  return MetricPoint{stats.mean(), stats.ci95_halfwidth()};
+}
+
+}  // namespace qlec

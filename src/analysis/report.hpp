@@ -1,0 +1,44 @@
+// Figure/table reporting: turns aggregated sweep results into the row/series
+// layout the paper's figures use, as both an ASCII table and CSV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ascii_plot.hpp"
+#include "sim/metrics.hpp"
+
+namespace qlec {
+
+/// One protocol's curve over a swept parameter (e.g. PDR vs lambda).
+struct SweepSeries {
+  std::string protocol;
+  std::vector<double> x;      ///< swept parameter values
+  std::vector<double> mean;
+  std::vector<double> ci95;   ///< half-widths
+};
+
+/// Table with one row per (x, protocol): columns x, protocol, mean±ci.
+std::string render_sweep_table(const std::string& x_name,
+                               const std::string& metric_name,
+                               const std::vector<SweepSeries>& series,
+                               int precision = 3);
+
+/// CSV equivalent: header `x,protocol,mean,ci95`.
+std::string sweep_to_csv(const std::vector<SweepSeries>& series);
+
+/// Chart of the same series.
+std::string render_sweep_chart(const std::string& title,
+                               const std::string& x_name,
+                               const std::string& metric_name,
+                               const std::vector<SweepSeries>& series);
+
+/// Extracts one metric (by accessor) from aggregated results into a series
+/// point; convenience for the figure benches.
+struct MetricPoint {
+  double mean = 0.0;
+  double ci95 = 0.0;
+};
+MetricPoint metric_point(const RunningStats& stats);
+
+}  // namespace qlec

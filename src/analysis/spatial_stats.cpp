@@ -1,0 +1,68 @@
+#include "analysis/spatial_stats.hpp"
+
+#include <cmath>
+
+#include "geom/spatial_grid.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+namespace {
+
+struct MoranParts {
+  double numerator = 0.0;  ///< sum_ij w_ij (xi - xbar)(xj - xbar)
+  double w_total = 0.0;    ///< W
+  double variance_sum = 0.0;
+  std::size_t n = 0;
+};
+
+MoranParts moran_parts(const SpatialGrid& grid,
+                       const std::vector<Vec3>& positions,
+                       const std::vector<double>& values, double radius) {
+  MoranParts parts;
+  parts.n = values.size();
+  double mean = 0.0;
+  for (const double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double di = values[i] - mean;
+    parts.variance_sum += di * di;
+    for (const std::size_t j : grid.neighbours_of(i, radius)) {
+      parts.numerator += di * (values[j] - mean);
+      parts.w_total += 1.0;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+double morans_i(const std::vector<Vec3>& positions,
+                const std::vector<double>& values, double radius) {
+  if (positions.size() != values.size() || values.size() < 2 ||
+      radius <= 0.0)
+    return 0.0;
+  const SpatialGrid grid(positions, radius);
+  const MoranParts parts = moran_parts(grid, positions, values, radius);
+  if (parts.w_total <= 0.0 || parts.variance_sum <= 0.0) return 0.0;
+  return (static_cast<double>(parts.n) / parts.w_total) * parts.numerator /
+         parts.variance_sum;
+}
+
+double morans_i_pvalue(const std::vector<Vec3>& positions,
+                       const std::vector<double>& values, double radius,
+                       int permutations, unsigned long long seed) {
+  if (permutations <= 0) return 1.0;
+  const double observed = std::fabs(morans_i(positions, values, radius));
+  Rng rng(seed);
+  std::vector<double> shuffled = values;
+  int extreme = 0;
+  for (int p = 0; p < permutations; ++p) {
+    rng.shuffle(shuffled);
+    if (std::fabs(morans_i(positions, shuffled, radius)) >= observed)
+      ++extreme;
+  }
+  return static_cast<double>(extreme) / static_cast<double>(permutations);
+}
+
+}  // namespace qlec

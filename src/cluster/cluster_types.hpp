@@ -1,0 +1,18 @@
+// Shared result types for the clustering substrates.
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace qlec {
+
+/// Hard clustering outcome: k centroids and a per-point cluster index.
+struct Clustering {
+  std::vector<Vec3> centroids;
+  std::vector<int> assignment;  ///< assignment[i] in [0, k)
+  double objective = 0.0;       ///< algorithm-specific (inertia / FCM J_m)
+  int iterations = 0;
+};
+
+}  // namespace qlec

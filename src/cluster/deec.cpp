@@ -1,0 +1,74 @@
+#include "cluster/deec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlec {
+
+double deec_avg_energy_estimate(double total_initial, std::size_t n, int r,
+                                int total_rounds) {
+  if (n == 0 || total_rounds <= 0) return 0.0;
+  const double frac =
+      1.0 - static_cast<double>(r) / static_cast<double>(total_rounds);
+  return std::max(0.0, total_initial * frac / static_cast<double>(n));
+}
+
+double deec_probability(double p_opt, double residual, double avg_energy) {
+  if (avg_energy <= 0.0) return std::clamp(p_opt, 0.0, 1.0);
+  return std::clamp(p_opt * residual / avg_energy, 0.0, 1.0);
+}
+
+double deec_threshold(double p_i, int round) {
+  // Same functional form as LEACH but with the energy-scaled p_i.
+  if (p_i <= 0.0) return 0.0;
+  if (p_i >= 1.0) return 1.0;
+  const int epoch = std::max(1, static_cast<int>(std::llround(1.0 / p_i)));
+  const double denom = 1.0 - p_i * static_cast<double>(round % epoch);
+  if (denom <= 0.0) return 1.0;
+  return std::min(1.0, p_i / denom);
+}
+
+bool deec_eligible(int last_head_round, int round, double p_i) {
+  if (p_i <= 0.0) return false;
+  const int epoch =
+      std::max(1, static_cast<int>(std::ceil(1.0 / std::min(p_i, 1.0))));
+  return last_head_round == kNeverHead || round - last_head_round >= epoch;
+}
+
+std::vector<int> deec_elect(Network& net, const DeecParams& params, int round,
+                            Rng& rng, double death_line) {
+  net.reset_heads();
+  const double avg =
+      params.use_estimated_average
+          ? deec_avg_energy_estimate(net.total_initial_energy(), net.size(),
+                                     round, params.total_rounds)
+          : net.mean_residual_alive(death_line);
+
+  std::vector<int> heads;
+  int best_fallback = kBaseStationId;
+  double best_energy = -1.0;
+  for (SensorNode& n : net.nodes()) {
+    if (!n.battery.alive(death_line)) continue;
+    if (n.battery.residual() > best_energy) {
+      best_energy = n.battery.residual();
+      best_fallback = n.id;
+    }
+    const double p_i =
+        deec_probability(params.p_opt, n.battery.residual(), avg);
+    if (!deec_eligible(n.last_head_round, round, p_i)) continue;
+    if (rng.uniform01() < deec_threshold(p_i, round)) {
+      n.is_head = true;
+      n.last_head_round = round;
+      heads.push_back(n.id);
+    }
+  }
+  if (heads.empty() && best_fallback != kBaseStationId) {
+    SensorNode& n = net.node(best_fallback);
+    n.is_head = true;
+    n.last_head_round = round;
+    heads.push_back(n.id);
+  }
+  return heads;
+}
+
+}  // namespace qlec

@@ -1,0 +1,47 @@
+// Plain DEEC election primitives (Qing, Zhu & Wang, Computer Communications
+// 2006), exactly as recalled in Section 3.1 of the QLEC paper:
+//   Eq. 1  p_i = p_opt * E_i(r) / Ebar(r)
+//   Eq. 2  Ebar(r) = (1/N) * E_initial * (1 - r/R)
+//   Eq. 3  T(b_i) = p_i / (1 - p_i * (r mod 1/p_i))  for candidates
+// The *improved* DEEC (energy threshold Eq. 4 + redundancy reduction
+// Algorithm 3) lives in src/core/improved_deec.*; this module is the shared
+// base and the un-improved ablation baseline.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+/// Eq. 2: estimated network-average energy at round r. `total_initial` is
+/// the whole network's initial energy Sum_i E_i(0). Clamps at 0 for r >= R.
+double deec_avg_energy_estimate(double total_initial, std::size_t n, int r,
+                                int total_rounds);
+
+/// Eq. 1: election probability, clamped into [0, 1].
+double deec_probability(double p_opt, double residual, double avg_energy);
+
+/// Eq. 3 threshold with the node-specific rotating epoch n_i = 1/p_i.
+double deec_threshold(double p_i, int round);
+
+/// Rotating-epoch eligibility: not head within the last ceil(1/p_i) - 1
+/// rounds (the candidate set C of Eq. 3).
+bool deec_eligible(int last_head_round, int round, double p_i);
+
+struct DeecParams {
+  double p_opt = 0.05;  ///< k_opt / N
+  int total_rounds = 20;
+  /// Use the Eq. 2 analytic estimate of Ebar(r) (as the paper prescribes to
+  /// cut complexity); false measures the true average instead.
+  bool use_estimated_average = true;
+};
+
+/// One plain-DEEC election round over nodes above `death_line`. Flags
+/// is_head / last_head_round and returns elected ids; falls back to the
+/// max-energy alive node when the draw elects nobody.
+std::vector<int> deec_elect(Network& net, const DeecParams& params, int round,
+                            Rng& rng, double death_line);
+
+}  // namespace qlec

@@ -1,0 +1,130 @@
+#include "cluster/fcm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qlec {
+
+std::vector<int> FcmResult::harden() const {
+  std::vector<int> out(membership.size(), 0);
+  for (std::size_t i = 0; i < membership.size(); ++i) {
+    const auto& row = membership[i];
+    out[i] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return out;
+}
+
+FcmResult fuzzy_cmeans(const std::vector<Vec3>& points, std::size_t k,
+                       Rng& rng, const FcmConfig& cfg) {
+  FcmResult result;
+  if (points.empty()) return result;
+  k = std::clamp<std::size_t>(k, 1, points.size());
+  const double m = std::max(cfg.fuzzifier, 1.0 + 1e-6);
+  const double exponent = 2.0 / (m - 1.0);
+  const std::size_t n = points.size();
+
+  // Random row-stochastic membership init.
+  result.membership.assign(n, std::vector<double>(k, 0.0));
+  for (auto& row : result.membership) {
+    double sum = 0.0;
+    for (double& u : row) {
+      u = rng.uniform(0.01, 1.0);
+      sum += u;
+    }
+    for (double& u : row) u /= sum;
+  }
+  result.centers.assign(k, Vec3{});
+
+  for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
+    result.iterations = static_cast<int>(iter + 1);
+    // Center update: c_j = sum_i u_ij^m x_i / sum_i u_ij^m.
+    for (std::size_t c = 0; c < k; ++c) {
+      Vec3 num;
+      double den = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double w = std::pow(result.membership[i][c], m);
+        num += points[i] * w;
+        den += w;
+      }
+      result.centers[c] = den > 0.0 ? num / den : points[c % n];
+    }
+
+    // Membership update: u_ij = 1 / sum_l (d_ij / d_il)^(2/(m-1)).
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Handle coincident point/center: full membership there.
+      std::ptrdiff_t exact = -1;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (distance2(points[i], result.centers[c]) < 1e-24) {
+          exact = static_cast<std::ptrdiff_t>(c);
+          break;
+        }
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        double u_new;
+        if (exact >= 0) {
+          u_new = (static_cast<std::ptrdiff_t>(c) == exact) ? 1.0 : 0.0;
+        } else {
+          const double d_ic = distance(points[i], result.centers[c]);
+          double denom = 0.0;
+          for (std::size_t l = 0; l < k; ++l) {
+            const double d_il = distance(points[i], result.centers[l]);
+            denom += std::pow(d_ic / d_il, exponent);
+          }
+          u_new = 1.0 / denom;
+        }
+        max_change =
+            std::max(max_change, std::fabs(u_new - result.membership[i][c]));
+        result.membership[i][c] = u_new;
+      }
+    }
+    if (max_change < cfg.tolerance) break;
+  }
+
+  // Objective J_m.
+  result.objective = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t c = 0; c < k; ++c)
+      result.objective += std::pow(result.membership[i][c], m) *
+                          distance2(points[i], result.centers[c]);
+  return result;
+}
+
+std::vector<std::size_t> fcm_select_heads(
+    const FcmResult& fcm, const std::vector<double>& residual_energy,
+    const std::vector<double>& initial_energy, double fuzzifier) {
+  std::vector<std::size_t> heads;
+  const std::size_t n = fcm.membership.size();
+  if (n == 0 || fcm.centers.empty()) return heads;
+  const std::size_t k = fcm.centers.size();
+  std::vector<bool> taken(n, false);
+  heads.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    double best_score = -1.0;
+    std::size_t best = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      const double e_frac =
+          (i < residual_energy.size() && i < initial_energy.size() &&
+           initial_energy[i] > 0.0)
+              ? residual_energy[i] / initial_energy[i]
+              : 0.0;
+      const double score =
+          std::pow(fcm.membership[i][c], fuzzifier) * e_frac;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+        found = true;
+      }
+    }
+    if (!found) break;
+    taken[best] = true;
+    heads.push_back(best);
+  }
+  return heads;
+}
+
+}  // namespace qlec

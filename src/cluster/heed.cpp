@@ -1,0 +1,114 @@
+#include "cluster/heed.hpp"
+
+#include <algorithm>
+
+#include "geom/spatial_grid.hpp"
+
+namespace qlec {
+
+HeedResult heed_elect(Network& net, const HeedConfig& cfg, int round,
+                      Rng& rng, double death_line) {
+  HeedResult result;
+  net.reset_heads();
+
+  const std::vector<int> alive = net.alive_ids(death_line);
+  if (alive.empty()) return result;
+
+  double e_max = 0.0;
+  for (const int id : alive)
+    e_max = std::max(e_max, net.node(id).battery.initial());
+  if (e_max <= 0.0) e_max = 1.0;
+
+  // Tentative per-node probabilities, energy-scaled (the HEED hybrid).
+  std::vector<double> prob(net.size(), 0.0);
+  for (const int id : alive) {
+    const double p =
+        cfg.c_prob * net.node(id).battery.residual() / e_max;
+    prob[static_cast<std::size_t>(id)] = std::clamp(p, cfg.p_min, 1.0);
+  }
+
+  std::vector<Vec3> alive_pos;
+  alive_pos.reserve(alive.size());
+  for (const int id : alive) alive_pos.push_back(net.node(id).pos);
+  const double range = cfg.cluster_range > 0.0 ? cfg.cluster_range : 1.0;
+  const SpatialGrid grid(alive_pos, range);
+
+  std::vector<bool> is_tentative(net.size(), false);
+  std::vector<bool> covered(net.size(), false);
+
+  const auto cover_neighbourhood = [&](std::size_t alive_idx) {
+    for (const std::size_t j : grid.query(alive_pos[alive_idx], range)) {
+      covered[static_cast<std::size_t>(alive[j])] = true;
+    }
+  };
+
+  for (int iter = 0; iter < cfg.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool anyone_uncovered = false;
+    for (std::size_t a = 0; a < alive.size(); ++a) {
+      const auto id = static_cast<std::size_t>(alive[a]);
+      if (covered[id] || is_tentative[id]) continue;
+      anyone_uncovered = true;
+      if (prob[id] >= 1.0 || rng.uniform01() < prob[id]) {
+        is_tentative[id] = true;
+        cover_neighbourhood(a);
+      } else {
+        prob[id] = std::min(1.0, prob[id] * 2.0);  // HEED doubling
+      }
+    }
+    if (!anyone_uncovered) break;
+  }
+
+  // Force-elect any node still uncovered (prob reached 1 but unlucky
+  // ordering): HEED's final step makes such nodes heads themselves.
+  for (std::size_t a = 0; a < alive.size(); ++a) {
+    const auto id = static_cast<std::size_t>(alive[a]);
+    if (!covered[id] && !is_tentative[id]) {
+      is_tentative[id] = true;
+      cover_neighbourhood(a);
+    }
+  }
+
+  // Redundancy suppression: among tentative heads within range of each
+  // other, the higher-residual one wins (cost tie-break on id).
+  for (const int id : alive) {
+    if (!is_tentative[static_cast<std::size_t>(id)]) continue;
+    bool dominated = false;
+    // Find this node's alive-index for the grid query.
+    const auto it = std::find(alive.begin(), alive.end(), id);
+    const auto a = static_cast<std::size_t>(it - alive.begin());
+    for (const std::size_t j : grid.query(alive_pos[a], range)) {
+      const int other = alive[j];
+      if (other == id ||
+          !is_tentative[static_cast<std::size_t>(other)])
+        continue;
+      const double e_i = net.node(id).battery.residual();
+      const double e_o = net.node(other).battery.residual();
+      if (e_o > e_i || (e_o == e_i && other < id)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      net.node(id).is_head = true;
+      net.node(id).last_head_round = round;
+      result.heads.push_back(id);
+    }
+  }
+
+  // A dominated-by-each-other pathological cycle could leave zero heads;
+  // guard with the usual max-energy draft.
+  if (result.heads.empty()) {
+    int best = alive.front();
+    for (const int id : alive)
+      if (net.node(id).battery.residual() >
+          net.node(best).battery.residual())
+        best = id;
+    net.node(best).is_head = true;
+    net.node(best).last_head_round = round;
+    result.heads.push_back(best);
+  }
+  return result;
+}
+
+}  // namespace qlec

@@ -1,0 +1,35 @@
+// HEED (Younis & Fahmy, TMC 2004 — the paper's [17]): hybrid
+// energy-efficient distributed clustering. Initial head probability is
+// proportional to residual energy; uncovered nodes double their tentative
+// probability each iteration until every node sees a head within the
+// cluster range; ties between reachable heads break on a communication-cost
+// proxy (distance).
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+struct HeedConfig {
+  double c_prob = 0.1;      ///< initial head-probability scale
+  double p_min = 1e-4;      ///< probability floor
+  double cluster_range = 0; ///< coverage radius (meters); must be > 0
+  int max_iterations = 16;  ///< probability-doubling rounds
+};
+
+struct HeedResult {
+  std::vector<int> heads;
+  int iterations = 0;
+};
+
+/// One HEED election over nodes above `death_line`. Flags is_head and
+/// stamps last_head_round on the winners. Every alive node ends up within
+/// `cluster_range` of a head or becomes a head itself (the HEED coverage
+/// guarantee).
+HeedResult heed_elect(Network& net, const HeedConfig& cfg, int round,
+                      Rng& rng, double death_line);
+
+}  // namespace qlec

@@ -1,0 +1,132 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace qlec {
+namespace {
+
+int nearest_centroid(const Vec3& p, const std::vector<Vec3>& centroids) {
+  int best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d2 = distance2(p, centroids[c]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<Vec3> kmeanspp_init(const std::vector<Vec3>& points,
+                                std::size_t k, Rng& rng) {
+  std::vector<Vec3> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.uniform_int(points.size())]);
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Vec3& c : centroids)
+        best = std::min(best, distance2(points[i], c));
+      d2[i] = best;
+    }
+    centroids.push_back(points[rng.weighted_index(d2)]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+double inertia(const std::vector<Vec3>& points,
+               const std::vector<Vec3>& centroids,
+               const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    total += distance2(points[i],
+                       centroids[static_cast<std::size_t>(assignment[i])]);
+  return total;
+}
+
+Clustering kmeans(const std::vector<Vec3>& points, std::size_t k, Rng& rng,
+                  const KmeansConfig& cfg) {
+  Clustering result;
+  if (points.empty()) return result;
+  k = std::clamp<std::size_t>(k, 1, points.size());
+
+  result.centroids = kmeanspp_init(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < cfg.max_iterations; ++iter) {
+    result.iterations = static_cast<int>(iter + 1);
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i)
+      result.assignment[i] = nearest_centroid(points[i], result.centroids);
+
+    // Update step.
+    std::vector<Vec3> sums(k);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[static_cast<std::size_t>(result.assignment[i])] += points[i];
+      ++counts[static_cast<std::size_t>(result.assignment[i])];
+    }
+    double max_shift2 = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      Vec3 next;
+      if (counts[c] > 0) {
+        next = sums[c] / static_cast<double>(counts[c]);
+      } else {
+        // Re-seed an empty cluster at the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d2 = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d2 = distance2(
+              points[i],
+              result.centroids[static_cast<std::size_t>(
+                  result.assignment[i])]);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            far = i;
+          }
+        }
+        next = points[far];
+      }
+      max_shift2 = std::max(max_shift2, distance2(next, result.centroids[c]));
+      result.centroids[c] = next;
+    }
+    if (max_shift2 <= cfg.tolerance * cfg.tolerance) break;
+  }
+  // Final assignment against the settled centroids.
+  for (std::size_t i = 0; i < points.size(); ++i)
+    result.assignment[i] = nearest_centroid(points[i], result.centroids);
+  result.objective = inertia(points, result.centroids, result.assignment);
+  return result;
+}
+
+std::vector<std::size_t> nearest_points_to_centroids(
+    const std::vector<Vec3>& points, const std::vector<Vec3>& centroids) {
+  std::vector<std::size_t> heads;
+  heads.reserve(centroids.size());
+  std::vector<bool> taken(points.size(), false);
+  for (const Vec3& c : centroids) {
+    std::size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (taken[i]) continue;
+      const double d2 = distance2(points[i], c);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+        found = true;
+      }
+    }
+    if (!found) break;  // more centroids than points
+    taken[best] = true;
+    heads.push_back(best);
+  }
+  return heads;
+}
+
+}  // namespace qlec

@@ -1,0 +1,36 @@
+// Lloyd's k-means with k-means++ seeding, in 3-D. This is the paper's
+// "classic k-means clustering" comparator: clusters purely by geometry,
+// ignoring residual energy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster_types.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+struct KmeansConfig {
+  std::size_t max_iterations = 100;
+  /// Converged when no centroid moves more than this between iterations.
+  double tolerance = 1e-9;
+};
+
+/// Runs k-means++ then Lloyd iterations. k is clamped to [1, points.size()].
+/// Empty clusters are re-seeded from the farthest point.
+Clustering kmeans(const std::vector<Vec3>& points, std::size_t k, Rng& rng,
+                  const KmeansConfig& cfg = {});
+
+/// For each centroid, the index (into `points`) of the nearest point —
+/// the node that will act as that cluster's head. Guaranteed distinct by a
+/// greedy pass (a point serves at most one centroid).
+std::vector<std::size_t> nearest_points_to_centroids(
+    const std::vector<Vec3>& points, const std::vector<Vec3>& centroids);
+
+/// Sum of squared point-to-assigned-centroid distances.
+double inertia(const std::vector<Vec3>& points,
+               const std::vector<Vec3>& centroids,
+               const std::vector<int>& assignment);
+
+}  // namespace qlec

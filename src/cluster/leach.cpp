@@ -1,0 +1,52 @@
+#include "cluster/leach.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlec {
+
+double leach_threshold(double p, int round) {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  const int epoch = std::max(1, static_cast<int>(std::llround(1.0 / p)));
+  const double denom = 1.0 - p * static_cast<double>(round % epoch);
+  if (denom <= 0.0) return 1.0;
+  return std::min(1.0, p / denom);
+}
+
+bool leach_eligible(int last_head_round, int round, double p) {
+  if (p <= 0.0) return false;
+  const int epoch =
+      std::max(1, static_cast<int>(std::ceil(1.0 / std::min(p, 1.0))));
+  return last_head_round == kNeverHead || round - last_head_round >= epoch;
+}
+
+std::vector<int> leach_elect(Network& net, double p, int round, Rng& rng,
+                             double death_line) {
+  net.reset_heads();
+  std::vector<int> heads;
+  int best_fallback = kBaseStationId;
+  double best_energy = -1.0;
+  for (SensorNode& n : net.nodes()) {
+    if (!n.battery.alive(death_line)) continue;
+    if (n.battery.residual() > best_energy) {
+      best_energy = n.battery.residual();
+      best_fallback = n.id;
+    }
+    if (!leach_eligible(n.last_head_round, round, p)) continue;
+    if (rng.uniform01() < leach_threshold(p, round)) {
+      n.is_head = true;
+      n.last_head_round = round;
+      heads.push_back(n.id);
+    }
+  }
+  if (heads.empty() && best_fallback != kBaseStationId) {
+    SensorNode& n = net.node(best_fallback);
+    n.is_head = true;
+    n.last_head_round = round;
+    heads.push_back(n.id);
+  }
+  return heads;
+}
+
+}  // namespace qlec

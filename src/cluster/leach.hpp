@@ -1,0 +1,29 @@
+// Classic LEACH head election (Heinzelman et al., HICSS 2000): pure
+// randomized rotation with a fixed target probability p, blind to residual
+// energy. Kept as an ablation baseline and as the structural parent of DEEC.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+/// LEACH threshold T(n) = p / (1 - p * (r mod round(1/p))) for nodes that
+/// have not served as head in the current rotation epoch; 0 otherwise is
+/// handled by the eligibility helper below.
+double leach_threshold(double p, int round);
+
+/// True when the node may compete this round: it has not been head within
+/// the last ceil(1/p) - 1 rounds.
+bool leach_eligible(int last_head_round, int round, double p);
+
+/// Runs one election round over nodes above `death_line`; flags winners'
+/// is_head and stamps last_head_round. Returns elected ids. Guarantees at
+/// least one head whenever any node is alive (falls back to the max-energy
+/// alive node, as practical LEACH implementations do).
+std::vector<int> leach_elect(Network& net, double p, int round, Rng& rng,
+                             double death_line);
+
+}  // namespace qlec

@@ -1,0 +1,64 @@
+#include "cluster/tl_leach.hpp"
+
+#include <limits>
+
+#include "cluster/leach.hpp"
+
+namespace qlec {
+
+TlLeachLevels tl_leach_elect(Network& net, double p_primary,
+                             double p_secondary, int round, Rng& rng,
+                             double death_line) {
+  TlLeachLevels levels;
+  net.reset_heads();
+
+  int best_fallback = kBaseStationId;
+  double best_energy = -1.0;
+  for (SensorNode& n : net.nodes()) {
+    if (!n.battery.alive(death_line)) continue;
+    if (n.battery.residual() > best_energy) {
+      best_energy = n.battery.residual();
+      best_fallback = n.id;
+    }
+    if (!leach_eligible(n.last_head_round, round, p_secondary)) continue;
+    // Winning the rarer primary draw implies head duty at level 1;
+    // otherwise a secondary draw makes it a level-2 head.
+    if (rng.uniform01() < leach_threshold(p_primary, round)) {
+      n.is_head = true;
+      n.last_head_round = round;
+      levels.primaries.push_back(n.id);
+    } else if (rng.uniform01() < leach_threshold(p_secondary, round)) {
+      n.is_head = true;
+      n.last_head_round = round;
+      levels.secondaries.push_back(n.id);
+    }
+  }
+
+  if (levels.primaries.empty() && best_fallback != kBaseStationId) {
+    SensorNode& n = net.node(best_fallback);
+    // Promote: if it was drawn as a secondary, move it up a level.
+    std::erase(levels.secondaries, best_fallback);
+    n.is_head = true;
+    n.last_head_round = round;
+    levels.primaries.push_back(best_fallback);
+  }
+  return levels;
+}
+
+int tl_leach_primary_for(const Network& net, const TlLeachLevels& levels,
+                         int secondary, double death_line) {
+  int best = kBaseStationId;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (const int p : levels.primaries) {
+    if (p == secondary) continue;
+    if (!net.node(p).battery.alive(death_line)) continue;
+    const double d = net.dist(secondary, p);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace qlec

@@ -1,0 +1,33 @@
+// TL-LEACH (Loscri, Morabito & Marano, VTC 2006 — the paper's [10]): a
+// two-level LEACH hierarchy. Secondary cluster heads collect member data;
+// primary cluster heads aggregate the secondaries' traffic and uplink to
+// the BS. Elections are plain LEACH draws at two probabilities.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+struct TlLeachLevels {
+  std::vector<int> primaries;    ///< level-1 heads (uplink to BS)
+  std::vector<int> secondaries;  ///< level-2 heads (relay via a primary)
+};
+
+/// One TL-LEACH election round over nodes above `death_line`.
+/// `p_primary` and `p_secondary` are the two LEACH target probabilities
+/// (p_secondary > p_primary; a node winning both draws serves as primary).
+/// Flags is_head for BOTH levels (they all run head duties) and stamps
+/// last_head_round. Falls back to drafting the max-energy node as primary
+/// when a level would be empty.
+TlLeachLevels tl_leach_elect(Network& net, double p_primary,
+                             double p_secondary, int round, Rng& rng,
+                             double death_line);
+
+/// Nearest primary for a secondary head (kBaseStationId if none alive).
+int tl_leach_primary_for(const Network& net, const TlLeachLevels& levels,
+                         int secondary, double death_line);
+
+}  // namespace qlec

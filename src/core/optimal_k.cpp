@@ -1,0 +1,65 @@
+#include "core/optimal_k.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace qlec {
+
+double expected_d2_to_ch(double m_side, double k) {
+  if (k <= 0.0) return 0.0;
+  constexpr double four_pi = 4.0 * std::numbers::pi;
+  const double c = (four_pi / 5.0) * std::pow(3.0 / four_pi, 5.0 / 3.0);
+  return c * m_side * m_side / std::pow(k, 2.0 / 3.0);
+}
+
+double cluster_radius(double m_side, double k) {
+  if (k <= 0.0) return 0.0;
+  return std::cbrt(3.0 / (4.0 * std::numbers::pi * k)) * m_side;
+}
+
+double optimal_cluster_count(std::size_t n, double m_side, double d_to_bs,
+                             const RadioParams& radio) {
+  if (n == 0 || m_side <= 0.0 || d_to_bs <= 0.0 || radio.eps_mp <= 0.0)
+    return 0.0;
+  constexpr double pi = std::numbers::pi;
+  const double inner = 8.0 * pi * static_cast<double>(n) * radio.eps_fs /
+                       (15.0 * radio.eps_mp);
+  return (3.0 / (4.0 * pi)) * std::pow(inner, 3.0 / 5.0) *
+         std::pow(m_side, 6.0 / 5.0) / std::pow(d_to_bs, 12.0 / 5.0);
+}
+
+std::size_t optimal_cluster_count_rounded(std::size_t n, double m_side,
+                                          double d_to_bs,
+                                          const RadioParams& radio) {
+  const double k = optimal_cluster_count(n, m_side, d_to_bs, radio);
+  const auto rounded = static_cast<long long>(std::llround(k));
+  return static_cast<std::size_t>(std::max(1LL, rounded));
+}
+
+double round_energy_for_k(double bits, std::size_t n, double k, double m_side,
+                          double d_to_bs, const RadioParams& radio) {
+  const double nn = static_cast<double>(n);
+  return bits * (2.0 * nn * radio.e_elec + nn * radio.e_da +
+                 k * radio.eps_mp * std::pow(d_to_bs, 4) +
+                 nn * radio.eps_fs * expected_d2_to_ch(m_side, k));
+}
+
+std::size_t brute_force_optimal_k(double bits, std::size_t n, double m_side,
+                                  double d_to_bs, std::size_t k_max,
+                                  const RadioParams& radio) {
+  std::size_t best_k = 1;
+  double best_e = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= std::max<std::size_t>(k_max, 1); ++k) {
+    const double e = round_energy_for_k(bits, n, static_cast<double>(k),
+                                        m_side, d_to_bs, radio);
+    if (e < best_e) {
+      best_e = e;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace qlec

@@ -1,0 +1,44 @@
+// The analytic results of Section 3.2: expected member-to-head distance in a
+// 3-D deployment (Lemma 1), the optimal cluster count (Theorem 1), and the
+// cluster coverage radius (Eq. 5). A brute-force minimizer of the Eq. 6
+// round energy is included so tests can confirm the closed form.
+#pragma once
+
+#include <cstddef>
+
+#include "energy/radio_model.hpp"
+
+namespace qlec {
+
+/// Lemma 1: E{d_toCH^2} = (4*pi/5) * (3/(4*pi))^(5/3) * M^2 / k^(2/3).
+double expected_d2_to_ch(double m_side, double k);
+
+/// Eq. 5: cluster coverage radius d_c = (3 / (4*pi*k))^(1/3) * M — the
+/// radius of a ball whose volume is M^3 / k.
+double cluster_radius(double m_side, double k);
+
+/// Theorem 1:
+///   k_opt = (3/(4*pi)) * (8*pi*N*eps_fs / (15*eps_mp))^(3/5)
+///           * M^(6/5) / d_toBS^(12/5).
+/// Returns the continuous optimum (callers round as needed).
+double optimal_cluster_count(std::size_t n, double m_side, double d_to_bs,
+                             const RadioParams& radio = {});
+
+/// k_opt rounded to the nearest integer >= 1.
+std::size_t optimal_cluster_count_rounded(std::size_t n, double m_side,
+                                          double d_to_bs,
+                                          const RadioParams& radio = {});
+
+/// Eq. 6 evaluated with the Lemma 1 distance: per-round network energy as a
+/// function of k. Uses the multi-path uplink / free-space member-link split
+/// as printed in the paper.
+double round_energy_for_k(double bits, std::size_t n, double k, double m_side,
+                          double d_to_bs, const RadioParams& radio = {});
+
+/// Integer k in [1, k_max] minimizing round_energy_for_k — the ground truth
+/// Theorem 1 must match.
+std::size_t brute_force_optimal_k(double bits, std::size_t n, double m_side,
+                                  double d_to_bs, std::size_t k_max,
+                                  const RadioParams& radio = {});
+
+}  // namespace qlec

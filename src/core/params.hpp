@@ -1,0 +1,68 @@
+// QLEC hyper-parameters. Table 2 of the paper fixes gamma and the reward
+// weights; the remaining constants (g, l, exploration) are unstated in the
+// paper and documented here with our choices (see DESIGN.md §6).
+#pragma once
+
+namespace qlec {
+
+struct QlecParams {
+  // --- Table 2 ---
+  double gamma = 0.95;   ///< discount rate
+  double alpha1 = 0.05;  ///< weight of x(b_i)+x(h_j) in Eq. 17 / 19
+  double alpha2 = 1.05;  ///< weight of y(b_i,h_j) in Eq. 17 / 19
+  double beta1 = 0.05;   ///< weight of x(b_i) in Eq. 20
+  double beta2 = 1.05;   ///< weight of y(b_i,h_j) in Eq. 20
+  double compression = 0.5;  ///< data-fusion ratio at cluster heads
+
+  // --- constants the paper leaves unstated ---
+  /// Constant punishment -g applied to every transmission attempt (Eq. 17).
+  double g = 0.1;
+  /// Direct-to-BS penalty l, "set to be an arbitrarily large number"
+  /// (Eq. 19). Large enough to dominate any energy/distance difference.
+  double l = 100.0;
+  /// Exploration rate for action choice. The paper's Algorithm 4 is purely
+  /// greedy (argmax), which the default reproduces; the optimistic link
+  /// prior already makes unexplored links attractive, so extra epsilon
+  /// exploration mostly wastes packets on far heads.
+  double epsilon = 0.0;
+
+  // --- reward normalization (DESIGN.md §6) ---
+  // The paper plugs raw joules into Eq. 17-20. With 5 J batteries and
+  // micro-joule packet costs that makes the y-term numerically invisible, so
+  // we evaluate the rewards on dimensionless inputs:
+  //   x(b)  = residual(b)  / x_scale   (x_scale = node initial energy)
+  //   y(..) = amp_energy(L, d) / y_scale (y_scale = amp_energy(L, d0))
+  // Setting both scales to 1 reproduces the raw-joules formulas.
+  /// x normalization; <= 0 means "use each node's initial energy".
+  double x_scale = -1.0;
+  /// y normalization for member links; <= 0 means "use the amplifier
+  /// energy at d0".
+  double y_scale = -1.0;
+  /// y normalization for the BS uplink leg; <= 0 means "use the amplifier
+  /// energy at the deployment's mean node-to-BS distance" (set by
+  /// QlecProtocol). Uplinks run in the multi-path (d^4) regime, so without
+  /// a regime-appropriate scale the V(h_j) values from Algorithm 1 line 15
+  /// dwarf the member-side y and over-concentrate load on BS-proximal
+  /// heads.
+  double y_scale_bs = -1.0;
+  /// The BS has mains power; its normalized residual energy x(h_BS).
+  double x_bs = 1.0;
+
+  // --- election / control plane ---
+  /// Total rounds R used by the Eq. 2 / Eq. 4 schedules.
+  int total_rounds = 20;
+  /// Enable the Eq. 4 minimum-energy threshold (improvement #1).
+  bool use_energy_threshold = true;
+  /// Enable the Algorithm 3 HELLO redundancy reduction (improvement #2).
+  bool reduce_redundancy = true;
+  /// Enable the §3.1 replacement rule (top the head set up to k_opt with
+  /// the highest-energy qualified nodes when the draw under-elects).
+  bool top_up_to_k = true;
+  /// HELLO message size in bits (control-plane energy cost).
+  double hello_bits = 200.0;
+  /// Override the computed k_opt when > 0 (used by the k-sweep ablation and
+  /// the Fig. 4 run, which pins k = 272 to match the paper).
+  int force_k = 0;
+};
+
+}  // namespace qlec

@@ -1,0 +1,91 @@
+#include "core/qlec.hpp"
+
+#include <algorithm>
+
+#include "geom/spatial_grid.hpp"
+
+namespace qlec {
+
+QlecProtocol::QlecProtocol(const Network& net, QlecParams params,
+                           RadioModel radio, double death_line)
+    : params_(params),
+      radio_(radio),
+      death_line_(death_line),
+      router_(params, radio, net.size()) {
+  // Regime-appropriate uplink normalization (see params.hpp): scale the
+  // uplink y by the amplifier energy at the deployment's mean BS distance.
+  if (params_.y_scale_bs <= 0.0 && net.size() > 0) {
+    params_.y_scale_bs = radio_.amp_energy(1.0, net.mean_dist_to_bs());
+    router_ = QlecRouter(params_, radio_, net.size());
+  }
+  const double m_side = std::cbrt(std::max(net.domain().volume(), 0.0));
+  if (params_.force_k > 0) {
+    k_opt_ = static_cast<std::size_t>(params_.force_k);
+  } else {
+    k_opt_ = optimal_cluster_count_rounded(net.size(), m_side,
+                                           net.mean_dist_to_bs(),
+                                           radio_.params());
+  }
+  k_opt_ = std::clamp<std::size_t>(k_opt_, 1, std::max<std::size_t>(net.size(), 1));
+  d_c_ = cluster_radius(m_side, static_cast<double>(k_opt_));
+}
+
+void QlecProtocol::on_round_start(Network& net, int round, Rng& rng,
+                                  EnergyLedger& ledger) {
+  ImprovedDeecConfig cfg;
+  cfg.p_opt = static_cast<double>(k_opt_) /
+              static_cast<double>(std::max<std::size_t>(net.size(), 1));
+  cfg.total_rounds = params_.total_rounds;
+  cfg.coverage_radius = d_c_;
+  cfg.use_energy_threshold = params_.use_energy_threshold;
+  cfg.reduce_redundancy = params_.reduce_redundancy;
+  cfg.top_up_to_k = params_.top_up_to_k;
+  heads_ = improved_deec_elect(net, cfg, round, rng, death_line_,
+                               &last_stats_);
+
+  // Control plane: each surviving head broadcasts its HELLO across d_c, and
+  // every alive node inside the coverage ball spends receive energy on it.
+  if (params_.hello_bits > 0.0 && !heads_.empty()) {
+    const SpatialGrid grid(net.positions(), std::max(d_c_, 1.0));
+    for (const int h : heads_) {
+      SensorNode& head = net.node(h);
+      const double tx = radio_.tx_energy(params_.hello_bits, d_c_);
+      ledger.charge(EnergyUse::kControl, head.battery.consume(tx));
+      for (const std::size_t j : grid.query(head.pos, d_c_)) {
+        const int jid = static_cast<int>(j);
+        if (jid == h) continue;
+        SensorNode& nbr = net.node(jid);
+        if (!nbr.battery.alive(death_line_)) continue;
+        const double rx = radio_.rx_energy(params_.hello_bits);
+        ledger.charge(EnergyUse::kControl, nbr.battery.consume(rx));
+      }
+    }
+  }
+
+  router_.begin_round(heads_);
+  // Seed each head's V with one model-based Eq. 15 backup (known y, prior
+  // P estimate). Without this, never-elected heads keep the optimistic
+  // V = 0 of initialization and members flood the freshest head every
+  // round regardless of its uplink cost.
+  for (const int h : heads_)
+    router_.update_head_value(net, h, uplink_bits_hint_);
+}
+
+int QlecProtocol::route(const Network& net, int src, double bits, Rng& rng) {
+  uplink_bits_hint_ = bits;
+  return router_.choose_target(net, src, bits, rng);
+}
+
+void QlecProtocol::on_tx_result(const Network& net, int src, int target,
+                                bool success) {
+  (void)net;
+  router_.record_outcome(src, target, success);
+}
+
+void QlecProtocol::on_uplink_result(const Network& net, int head,
+                                    bool success) {
+  router_.record_outcome(head, kBaseStationId, success);
+  router_.update_head_value(net, head, uplink_bits_hint_);
+}
+
+}  // namespace qlec

@@ -1,0 +1,134 @@
+#include "core/qlec_routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qlec {
+
+QlecRouter::QlecRouter(QlecParams params, RadioModel radio,
+                       std::size_t n_nodes)
+    : params_(params), radio_(radio), v_(n_nodes, 0.0) {}
+
+void QlecRouter::begin_round(std::vector<int> heads) {
+  heads_ = std::move(heads);
+  max_v_delta_ = 0.0;
+}
+
+double QlecRouter::x_of(const Network& net, int node_or_bs) const {
+  if (node_or_bs == kBaseStationId) return params_.x_bs;
+  const SensorNode& n = net.node(node_or_bs);
+  const double scale = params_.x_scale > 0.0 ? params_.x_scale
+                                             : n.battery.initial();
+  return scale > 0.0 ? n.battery.residual() / scale : 0.0;
+}
+
+double QlecRouter::y_of(const Network& net, int src, int target,
+                        double bits) const {
+  const double d = net.dist(src, target);
+  const double raw = radio_.amp_energy(bits, d);
+  double scale;
+  if (target == kBaseStationId) {
+    scale = params_.y_scale_bs > 0.0
+                ? bits * params_.y_scale_bs
+                : radio_.amp_energy(bits, radio_.d0());
+  } else {
+    scale = params_.y_scale > 0.0 ? params_.y_scale
+                                  : radio_.amp_energy(bits, radio_.d0());
+  }
+  return scale > 0.0 ? raw / scale : raw;
+}
+
+double QlecRouter::reward_success(const Network& net, int src, int target,
+                                  double bits) const {
+  // Eq. 17 for a head target, Eq. 19 (extra -l penalty) for the BS.
+  const double base = -params_.g +
+                      params_.alpha1 * (x_of(net, src) + x_of(net, target)) -
+                      params_.alpha2 * y_of(net, src, target, bits);
+  return target == kBaseStationId ? base - params_.l : base;
+}
+
+double QlecRouter::reward_failure(const Network& net, int src, int target,
+                                  double bits) const {
+  // Eq. 20: transmission attempted but not acknowledged.
+  return -params_.g + params_.beta1 * x_of(net, src) -
+         params_.beta2 * y_of(net, src, target, bits);
+}
+
+double& QlecRouter::v_slot(int node_or_bs) {
+  if (node_or_bs == kBaseStationId) return v_bs_;
+  return v_.at(static_cast<std::size_t>(node_or_bs));
+}
+
+double QlecRouter::v(int node_or_bs) const {
+  if (node_or_bs == kBaseStationId) return v_bs_;
+  return v_.at(static_cast<std::size_t>(node_or_bs));
+}
+
+double QlecRouter::q_value(const Network& net, int src, int target,
+                           double bits) const {
+  const TwoOutcomeTransition t{
+      .p_success = estimator_.estimate(src, target),
+      .reward_success = reward_success(net, src, target, bits),
+      .reward_failure = reward_failure(net, src, target, bits),
+      .v_success = v(target),
+      .v_failure = v(src),
+  };
+  return t.q_value(params_.gamma);
+}
+
+int QlecRouter::choose_target(const Network& net, int src, double bits,
+                              Rng& rng) {
+  // Action set A(b_i): every current head except itself, plus the BS.
+  int best = kBaseStationId;
+  double best_q = -std::numeric_limits<double>::infinity();
+  std::vector<int> actions;
+  actions.reserve(heads_.size() + 1);
+  for (const int h : heads_)
+    if (h != src) actions.push_back(h);
+  actions.push_back(kBaseStationId);
+
+  for (const int a : actions) {
+    const double q = q_value(net, src, a, bits);
+    ++q_evals_;
+    if (q > best_q) {
+      best_q = q;
+      best = a;
+    }
+  }
+
+  // Algorithm 4 line 2: V*(b_i) <- max_a Q*(b_i, a).
+  double& v_src = v_slot(src);
+  max_v_delta_ = std::max(max_v_delta_, std::fabs(best_q - v_src));
+  v_src = best_q;
+
+  if (params_.epsilon > 0.0 && rng.bernoulli(params_.epsilon))
+    return actions[rng.uniform_int(actions.size())];
+  return best;
+}
+
+void QlecRouter::record_outcome(int from, int to, bool success) {
+  estimator_.record(from, to, success);
+}
+
+void QlecRouter::update_head_value(const Network& net, int head,
+                                   double bits) {
+  // Algorithm 1 line 15: V*(h_j) = Q*(h_j, a_BS)
+  //   = R_t + gamma (P V*(h_BS) + (1-P) V*(h_j)).
+  // The head's uplink carries no direct-to-BS penalty — uplinking the fused
+  // data IS its job (Eq. 19's l penalizes members bypassing the hierarchy).
+  const double p = estimator_.estimate(head, kBaseStationId);
+  const double r_s = -params_.g +
+                     params_.alpha1 * (x_of(net, head) + params_.x_bs) -
+                     params_.alpha2 * y_of(net, head, kBaseStationId, bits);
+  const double r_f = reward_failure(net, head, kBaseStationId, bits);
+  const double rt = p * r_s + (1.0 - p) * r_f;
+  double& v_head = v_slot(head);
+  const double next =
+      rt + params_.gamma * (p * v_bs_ + (1.0 - p) * v_head);
+  max_v_delta_ = std::max(max_v_delta_, std::fabs(next - v_head));
+  v_head = next;
+  ++q_evals_;
+}
+
+}  // namespace qlec

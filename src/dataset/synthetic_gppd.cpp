@@ -1,0 +1,58 @@
+#include "dataset/synthetic_gppd.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qlec {
+
+const std::vector<CityAnchor>& china_city_anchors() {
+  // Rough coordinates of major Chinese load centers; weights approximate
+  // regional generation shares (coastal/industrial provinces heavier).
+  static const std::vector<CityAnchor> anchors = {
+      {"Beijing", 39.9, 116.4, 5.0},    {"Tianjin", 39.1, 117.2, 3.0},
+      {"Shanghai", 31.2, 121.5, 6.0},   {"Guangzhou", 23.1, 113.3, 6.0},
+      {"Shenzhen", 22.5, 114.1, 4.0},   {"Chengdu", 30.7, 104.1, 4.0},
+      {"Chongqing", 29.6, 106.5, 4.0},  {"Wuhan", 30.6, 114.3, 4.0},
+      {"Xian", 34.3, 108.9, 3.0},       {"Nanjing", 32.1, 118.8, 4.0},
+      {"Hangzhou", 30.3, 120.2, 4.0},   {"Jinan", 36.7, 117.0, 4.0},
+      {"Qingdao", 36.1, 120.4, 3.0},    {"Shenyang", 41.8, 123.4, 3.0},
+      {"Harbin", 45.8, 126.5, 2.0},     {"Changchun", 43.9, 125.3, 2.0},
+      {"Zhengzhou", 34.7, 113.7, 4.0},  {"Shijiazhuang", 38.0, 114.5, 3.0},
+      {"Taiyuan", 37.9, 112.6, 4.0},    {"Hohhot", 40.8, 111.7, 3.0},
+      {"Lanzhou", 36.1, 103.8, 2.0},    {"Urumqi", 43.8, 87.6, 2.0},
+      {"Kunming", 25.0, 102.7, 3.0},    {"Guiyang", 26.6, 106.7, 2.0},
+      {"Nanning", 22.8, 108.3, 2.0},    {"Changsha", 28.2, 113.0, 3.0},
+      {"Nanchang", 28.7, 115.9, 2.0},   {"Fuzhou", 26.1, 119.3, 3.0},
+      {"Hefei", 31.9, 117.3, 3.0},      {"Xining", 36.6, 101.8, 1.0},
+  };
+  return anchors;
+}
+
+std::vector<PowerPlant> generate_synthetic_gppd(
+    const SyntheticGppdConfig& cfg) {
+  Rng rng(cfg.seed);
+  const auto& anchors = china_city_anchors();
+  std::vector<double> weights;
+  weights.reserve(anchors.size());
+  for (const CityAnchor& a : anchors) weights.push_back(a.weight);
+
+  std::vector<PowerPlant> plants;
+  plants.reserve(cfg.plants);
+  for (std::size_t i = 0; i < cfg.plants; ++i) {
+    const CityAnchor& a = anchors[rng.weighted_index(weights)];
+    PowerPlant p;
+    char name[64];
+    std::snprintf(name, sizeof name, "synthetic-%s-%04zu", a.name, i);
+    p.name = name;
+    p.latitude = std::clamp(a.latitude + rng.normal(0.0, cfg.spread_deg),
+                            18.0, 53.0);
+    p.longitude = std::clamp(a.longitude + rng.normal(0.0, cfg.spread_deg),
+                             74.0, 134.0);
+    p.capacity_mw = rng.lognormal(cfg.log_cap_mu, cfg.log_cap_sigma);
+    p.height_m = rng.uniform(cfg.height_min, cfg.height_max);
+    plants.push_back(std::move(p));
+  }
+  return plants;
+}
+
+}  // namespace qlec

@@ -1,0 +1,42 @@
+// Synthetic stand-in for the WRI Global Power Plant Database's China subset
+// (DESIGN.md §4). Deterministic given the seed: 2896 plants clumped around
+// real province/load-center coordinates with heavy-tailed (log-normal)
+// capacities, plus the paper's random-height lift to 3-D.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/power_plant.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+struct SyntheticGppdConfig {
+  std::size_t plants = 2896;  ///< the paper's China count
+  /// Random height range in meters (the paper assigns a random height to
+  /// each node to convert the 2-D dataset into a 3-D network).
+  double height_min = 0.0;
+  double height_max = 250.0;
+  /// Log-normal capacity parameters in MW (median ~ 50 MW, heavy tail).
+  double log_cap_mu = 3.9;     // ln MW
+  double log_cap_sigma = 1.4;
+  /// Gaussian spread of plants around their anchor city, in degrees.
+  double spread_deg = 1.6;
+  std::uint64_t seed = 20190805;  ///< ICPP 2019 dates, for flavor
+};
+
+/// Anchor cities: (name, lat, lon, weight) for ~30 Chinese load centers.
+struct CityAnchor {
+  const char* name;
+  double latitude;
+  double longitude;
+  double weight;  ///< relative share of plants
+};
+const std::vector<CityAnchor>& china_city_anchors();
+
+/// Generates the synthetic plant list (deterministic given cfg.seed).
+std::vector<PowerPlant> generate_synthetic_gppd(
+    const SyntheticGppdConfig& cfg = {});
+
+}  // namespace qlec

@@ -1,0 +1,25 @@
+#include "energy/battery.hpp"
+
+#include <algorithm>
+
+namespace qlec {
+
+Battery::Battery(double initial) noexcept
+    : initial_(std::max(initial, 0.0)), residual_(initial_) {}
+
+double Battery::consumption_rate() const noexcept {
+  return initial_ > 0.0 ? consumed() / initial_ : 0.0;
+}
+
+double Battery::consume(double joules) noexcept {
+  joules = std::max(joules, 0.0);
+  const double drawn = std::min(joules, residual_);
+  residual_ -= drawn;
+  return drawn;
+}
+
+void Battery::recharge(double joules) noexcept {
+  residual_ = std::min(residual_ + std::max(joules, 0.0), initial_);
+}
+
+}  // namespace qlec

@@ -1,0 +1,39 @@
+// Per-node battery with a death line. The paper: "the network dies when
+// there exists one sensor possessing less energy than a given energy death
+// line"; nodes below the line stop participating.
+#pragma once
+
+namespace qlec {
+
+class Battery {
+ public:
+  Battery() = default;
+  /// Starts full at `initial` joules (negative clamps to 0).
+  explicit Battery(double initial) noexcept;
+
+  double initial() const noexcept { return initial_; }
+  double residual() const noexcept { return residual_; }
+  /// Total joules drawn so far.
+  double consumed() const noexcept { return initial_ - residual_; }
+  /// consumed / initial in [0,1]; 0 for a zero-capacity battery. This is the
+  /// "energy consumption rate" plotted in Fig. 4.
+  double consumption_rate() const noexcept;
+
+  /// Draws `joules` (>= 0); residual clamps at 0. Returns the amount
+  /// actually drawn.
+  double consume(double joules) noexcept;
+
+  /// Restores `joules` up to the initial capacity (harvesting scenarios).
+  void recharge(double joules) noexcept;
+
+  /// True while residual > death_line.
+  bool alive(double death_line) const noexcept {
+    return residual_ > death_line;
+  }
+
+ private:
+  double initial_ = 0.0;
+  double residual_ = 0.0;
+};
+
+}  // namespace qlec

@@ -1,0 +1,54 @@
+#include "energy/ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qlec {
+
+const char* energy_use_name(EnergyUse u) {
+  switch (u) {
+    case EnergyUse::kTransmit: return "tx";
+    case EnergyUse::kReceive: return "rx";
+    case EnergyUse::kAggregate: return "agg";
+    case EnergyUse::kControl: return "ctl";
+    case EnergyUse::kIdle: return "idle";
+    case EnergyUse::kCount_: break;
+  }
+  return "?";
+}
+
+void EnergyLedger::charge(EnergyUse use, double joules) noexcept {
+  buckets_[static_cast<int>(use)] += std::max(joules, 0.0);
+}
+
+void EnergyLedger::merge(const EnergyLedger& other) noexcept {
+  for (int i = 0; i < static_cast<int>(EnergyUse::kCount_); ++i)
+    buckets_[i] += other.buckets_[i];
+}
+
+double EnergyLedger::total() const noexcept {
+  double t = 0.0;
+  for (const double b : buckets_) t += b;
+  return t;
+}
+
+double EnergyLedger::by_use(EnergyUse use) const noexcept {
+  return buckets_[static_cast<int>(use)];
+}
+
+double EnergyLedger::fraction(EnergyUse use) const noexcept {
+  const double t = total();
+  return t > 0.0 ? by_use(use) / t : 0.0;
+}
+
+std::string EnergyLedger::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "tx=%.6g rx=%.6g agg=%.6g ctl=%.6g idle=%.6g total=%.6g J",
+                by_use(EnergyUse::kTransmit), by_use(EnergyUse::kReceive),
+                by_use(EnergyUse::kAggregate), by_use(EnergyUse::kControl),
+                by_use(EnergyUse::kIdle), total());
+  return buf;
+}
+
+}  // namespace qlec

@@ -1,0 +1,37 @@
+// Network-wide energy accounting, broken down by activity so benches can
+// report where the joules went (Fig. 3(b) and the ablations).
+#pragma once
+
+#include <string>
+
+namespace qlec {
+
+enum class EnergyUse : int {
+  kTransmit = 0,
+  kReceive,
+  kAggregate,
+  kControl,  // HELLO broadcasts / cluster management overhead
+  kIdle,     // idle-listening drain while awake with nothing to do
+  kCount_,
+};
+
+const char* energy_use_name(EnergyUse u);
+
+class EnergyLedger {
+ public:
+  void charge(EnergyUse use, double joules) noexcept;
+  void merge(const EnergyLedger& other) noexcept;
+
+  double total() const noexcept;
+  double by_use(EnergyUse use) const noexcept;
+  /// Fraction of the total attributed to `use` (0 when nothing charged).
+  double fraction(EnergyUse use) const noexcept;
+
+  /// "tx=… rx=… agg=… ctl=… total=…" one-liner for logs and benches.
+  std::string summary() const;
+
+ private:
+  double buckets_[static_cast<int>(EnergyUse::kCount_)] = {};
+};
+
+}  // namespace qlec

@@ -1,0 +1,43 @@
+#include "energy/radio_model.hpp"
+
+#include <cmath>
+
+namespace qlec {
+
+double RadioParams::d0() const noexcept {
+  return eps_mp > 0.0 ? std::sqrt(eps_fs / eps_mp) : 0.0;
+}
+
+RadioModel::RadioModel(RadioParams params) noexcept
+    : params_(params), d0_(params.d0()) {}
+
+double RadioModel::amp_energy(double bits, double d) const noexcept {
+  if (d < 0.0) d = 0.0;
+  if (d < d0_) return bits * params_.eps_fs * d * d;
+  return bits * params_.eps_mp * d * d * d * d;
+}
+
+double RadioModel::tx_energy(double bits, double d) const noexcept {
+  return bits * params_.e_elec + amp_energy(bits, d);
+}
+
+double RadioModel::rx_energy(double bits) const noexcept {
+  return bits * params_.e_elec;
+}
+
+double RadioModel::aggregation_energy(double bits) const noexcept {
+  return bits * params_.e_da;
+}
+
+double RadioModel::round_energy(double bits, std::size_t n, std::size_t k,
+                                double d_to_bs,
+                                double d_to_ch) const noexcept {
+  // Eq. 6: L (2 N Eelec + N EDA + k eps_mp d_toBS^4 + N eps_fs d_toCH^2).
+  const double nn = static_cast<double>(n);
+  const double kk = static_cast<double>(k);
+  return bits * (2.0 * nn * params_.e_elec + nn * params_.e_da +
+                 kk * params_.eps_mp * std::pow(d_to_bs, 4) +
+                 nn * params_.eps_fs * d_to_ch * d_to_ch);
+}
+
+}  // namespace qlec

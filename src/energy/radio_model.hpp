@@ -1,0 +1,62 @@
+// First-order radio energy model (Heinzelman et al., TWC 2002), the model
+// QLEC uses for every energy figure: Eq. 6 (round energy) and Eq. 18 (the
+// y(b_i, h_j) transmission cost inside the Q-learning reward).
+//
+// Units: joules, bits, meters.
+#pragma once
+
+#include <cstddef>
+
+namespace qlec {
+
+struct RadioParams {
+  /// Electronics energy per bit for TX or RX circuitry (50 nJ/bit).
+  double e_elec = 50e-9;
+  /// Data-aggregation energy per bit at a cluster head (5 nJ/bit).
+  double e_da = 5e-9;
+  /// Free-space amplifier constant (Table 2: 10 pJ/bit/m^2).
+  double eps_fs = 10e-12;
+  /// Multi-path amplifier constant (Table 2: 0.0013 pJ/bit/m^4).
+  double eps_mp = 0.0013e-12;
+
+  /// Crossover distance d0 = sqrt(eps_fs / eps_mp) between the free-space
+  /// (d^2) and multi-path (d^4) amplifier regimes (~87.7 m for Table 2).
+  double d0() const noexcept;
+};
+
+class RadioModel {
+ public:
+  explicit RadioModel(RadioParams params = {}) noexcept;
+
+  const RadioParams& params() const noexcept { return params_; }
+  double d0() const noexcept { return d0_; }
+
+  /// Energy to transmit `bits` over distance `d` (Eq. 18 plus electronics):
+  ///   bits*e_elec + bits*eps_fs*d^2   (d <  d0)
+  ///   bits*e_elec + bits*eps_mp*d^4   (d >= d0)
+  double tx_energy(double bits, double d) const noexcept;
+
+  /// Amplifier-only part of tx_energy — this is exactly the paper's
+  /// y(b_i, h_j) in Eq. 18.
+  double amp_energy(double bits, double d) const noexcept;
+
+  /// Energy to receive `bits`: bits * e_elec.
+  double rx_energy(double bits) const noexcept;
+
+  /// Energy for a cluster head to aggregate `bits`: bits * e_da.
+  double aggregation_energy(double bits) const noexcept;
+
+  /// Paper Eq. 6: total energy dissipated network-wide in one round where
+  /// each of `n` members sends `bits` to its head, `k` heads aggregate and
+  /// uplink to a BS at average distance `d_to_bs`, and members sit at average
+  /// distance `d_to_ch` from their head (free-space member links, multi-path
+  /// uplink, as printed).
+  double round_energy(double bits, std::size_t n, std::size_t k,
+                      double d_to_bs, double d_to_ch) const noexcept;
+
+ private:
+  RadioParams params_;
+  double d0_;
+};
+
+}  // namespace qlec

@@ -1,0 +1,39 @@
+// Axis-aligned box: the deployment volume of a network.
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec3.hpp"
+
+namespace qlec {
+
+struct Aabb {
+  Vec3 lo;
+  Vec3 hi;
+
+  /// Cube of side `m` with its lower corner at the origin — the paper's
+  /// M x M x M deployment region.
+  static constexpr Aabb cube(double m) { return {{0, 0, 0}, {m, m, m}}; }
+
+  constexpr Vec3 center() const { return (lo + hi) * 0.5; }
+  constexpr Vec3 extent() const { return hi - lo; }
+  constexpr double volume() const {
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+  constexpr bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+  Vec3 clamp(const Vec3& p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y),
+            std::clamp(p.z, lo.z, hi.z)};
+  }
+  /// Grows the box (if needed) to include `p`.
+  void expand(const Vec3& p) {
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  }
+};
+
+}  // namespace qlec

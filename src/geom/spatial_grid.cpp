@@ -1,0 +1,98 @@
+#include "geom/spatial_grid.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace qlec {
+
+SpatialGrid::SpatialGrid(const std::vector<Vec3>& points, double cell_size)
+    : points_(points), cell_(cell_size > 0.0 ? cell_size : 1.0) {
+  for (std::size_t i = 0; i < points_.size(); ++i)
+    cells_[key_for(points_[i])].push_back(i);
+}
+
+SpatialGrid::CellKey SpatialGrid::key_for(const Vec3& p) const {
+  return {static_cast<long long>(std::floor(p.x / cell_)),
+          static_cast<long long>(std::floor(p.y / cell_)),
+          static_cast<long long>(std::floor(p.z / cell_))};
+}
+
+std::vector<std::size_t> SpatialGrid::query(const Vec3& center,
+                                            double radius) const {
+  std::vector<std::size_t> out;
+  if (radius < 0.0) return out;
+  const double r2 = radius * radius;
+  const CellKey lo = key_for(center - Vec3{radius, radius, radius});
+  const CellKey hi = key_for(center + Vec3{radius, radius, radius});
+  for (long long cx = lo.x; cx <= hi.x; ++cx) {
+    for (long long cy = lo.y; cy <= hi.y; ++cy) {
+      for (long long cz = lo.z; cz <= hi.z; ++cz) {
+        const auto it = cells_.find(CellKey{cx, cy, cz});
+        if (it == cells_.end()) continue;
+        for (const std::size_t i : it->second)
+          if (distance2(points_[i], center) <= r2) out.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> SpatialGrid::neighbours_of(std::size_t i,
+                                                    double radius) const {
+  std::vector<std::size_t> out = query(points_.at(i), radius);
+  std::erase(out, i);
+  return out;
+}
+
+std::size_t SpatialGrid::nearest(const Vec3& center, std::size_t skip) const {
+  // Expanding ring search: check cells at increasing Chebyshev distance and
+  // stop once the best hit is provably closer than the next unexplored ring.
+  if (points_.empty()) return npos;
+  std::size_t best = npos;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  const CellKey c0 = key_for(center);
+  // Cap rings so degenerate inputs (all points in `skip`) still terminate.
+  const long long max_ring = 2 + static_cast<long long>(
+      std::cbrt(static_cast<double>(points_.size()))) +
+      static_cast<long long>(64);
+  for (long long ring = 0; ring <= max_ring; ++ring) {
+    const double ring_min_dist = (static_cast<double>(ring) - 1.0) * cell_;
+    if (best != npos && ring_min_dist > 0.0 &&
+        best_d2 <= ring_min_dist * ring_min_dist)
+      break;
+    for (long long dx = -ring; dx <= ring; ++dx) {
+      for (long long dy = -ring; dy <= ring; ++dy) {
+        for (long long dz = -ring; dz <= ring; ++dz) {
+          if (std::max({std::llabs(dx), std::llabs(dy), std::llabs(dz)}) !=
+              ring)
+            continue;  // only the shell of this ring
+          const auto it =
+              cells_.find(CellKey{c0.x + dx, c0.y + dy, c0.z + dz});
+          if (it == cells_.end()) continue;
+          for (const std::size_t i : it->second) {
+            if (i == skip) continue;
+            const double d2 = distance2(points_[i], center);
+            if (d2 < best_d2) {
+              best_d2 = d2;
+              best = i;
+            }
+          }
+        }
+      }
+    }
+  }
+  if (best == npos) {
+    // Fallback linear scan (covers points outside the ring cap).
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (i == skip) continue;
+      const double d2 = distance2(points_[i], center);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace qlec

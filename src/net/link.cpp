@@ -1,0 +1,69 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qlec {
+
+double LinkModel::success_probability(double d) const noexcept {
+  if (d <= 0.0) return 1.0;
+  const double ratio = d / (d_ref > 0.0 ? d_ref : 1.0);
+  return std::max(p_floor, std::exp(-ratio * ratio));
+}
+
+double LinkModel::bs_success_probability(double d) const noexcept {
+  const double p = success_probability(d);
+  return 1.0 - (1.0 - p) * std::clamp(bs_reliability_factor, 0.0, 1.0);
+}
+
+bool LinkModel::attempt(double d, Rng& rng) const noexcept {
+  return rng.bernoulli(success_probability(d));
+}
+
+bool LinkModel::attempt_bs(double d, Rng& rng) const noexcept {
+  return rng.bernoulli(bs_success_probability(d));
+}
+
+LinkEstimator::LinkEstimator(std::size_t window, double prior_successes,
+                             double prior_attempts) noexcept
+    : window_(std::clamp<std::size_t>(window, 1, 64)),
+      prior_s_(std::max(prior_successes, 0.0)),
+      prior_n_(std::max(prior_attempts, 1e-9)) {}
+
+std::uint64_t LinkEstimator::key(int from, int to) noexcept {
+  // Shift ids so the BS sentinel (-1) maps cleanly.
+  const auto f = static_cast<std::uint64_t>(static_cast<std::uint32_t>(from + 2));
+  const auto t = static_cast<std::uint64_t>(static_cast<std::uint32_t>(to + 2));
+  return (f << 32) | t;
+}
+
+void LinkEstimator::record(int from, int to, bool success) {
+  Window& w = links_[key(from, to)];
+  if (w.count == window_) {
+    // Evict the oldest outcome (highest tracked bit).
+    const std::uint64_t oldest = (w.bits >> (window_ - 1)) & 1ULL;
+    w.successes -= static_cast<std::size_t>(oldest);
+    w.bits &= ~(1ULL << (window_ - 1));
+  } else {
+    ++w.count;
+  }
+  w.bits = (w.bits << 1) | static_cast<std::uint64_t>(success ? 1 : 0);
+  w.successes += static_cast<std::size_t>(success ? 1 : 0);
+}
+
+double LinkEstimator::estimate(int from, int to) const {
+  const auto it = links_.find(key(from, to));
+  if (it == links_.end()) return prior_s_ / prior_n_;
+  const Window& w = it->second;
+  return (static_cast<double>(w.successes) + prior_s_) /
+         (static_cast<double>(w.count) + prior_n_);
+}
+
+std::size_t LinkEstimator::observations(int from, int to) const {
+  const auto it = links_.find(key(from, to));
+  return it == links_.end() ? 0 : it->second.count;
+}
+
+void LinkEstimator::clear() { links_.clear(); }
+
+}  // namespace qlec

@@ -1,0 +1,68 @@
+// Link layer: distance-dependent delivery probability plus the ACK-driven
+// success-rate estimator the paper uses for P^{a_j}_{b_i h_j} ("the link
+// probability can be estimated by the ratio between the successfully
+// transmitted packets and all the packets sent ... recently", following
+// HyDRO/QELAR).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace qlec {
+
+/// Ground-truth channel model: p(d) = max(p_floor, exp(-(d/d_ref)^2)).
+/// A Gaussian-in-distance success curve is a standard smooth stand-in for
+/// log-normal shadowing link quality; d_ref tunes the harshness (underwater
+/// scenarios use a smaller d_ref).
+struct LinkModel {
+  double d_ref = 220.0;  ///< distance at which success drops to 1/e
+  double p_floor = 0.02; ///< residual success probability at any range
+  /// BS uplinks land on the sink's high-gain receiver; their probability is
+  /// boosted as p' = 1 - (1-p)*bs_reliability_factor.
+  double bs_reliability_factor = 0.25;
+
+  double success_probability(double d) const noexcept;
+  double bs_success_probability(double d) const noexcept;
+  /// One Bernoulli transmission attempt over distance d.
+  bool attempt(double d, Rng& rng) const noexcept;
+  bool attempt_bs(double d, Rng& rng) const noexcept;
+};
+
+/// Sliding-window per-link success estimator. Keyed by (from, to) node ids;
+/// starts from an optimistic prior so unexplored links get tried (classic
+/// optimism-in-the-face-of-uncertainty).
+class LinkEstimator {
+ public:
+  /// `window` = number of most recent attempts remembered per link;
+  /// `prior_successes`/`prior_attempts` form the Beta-style prior.
+  explicit LinkEstimator(std::size_t window = 32, double prior_successes = 1.0,
+                         double prior_attempts = 1.0) noexcept;
+
+  /// Records the outcome of one transmission attempt from -> to.
+  void record(int from, int to, bool success);
+
+  /// Estimated success probability for from -> to (prior when unobserved).
+  double estimate(int from, int to) const;
+
+  /// Number of recorded attempts currently inside the window.
+  std::size_t observations(int from, int to) const;
+
+  void clear();
+
+ private:
+  struct Window {
+    std::uint64_t bits = 0;   // most recent outcome in LSB
+    std::size_t count = 0;    // valid bits (<= window size)
+    std::size_t successes = 0;
+  };
+  static std::uint64_t key(int from, int to) noexcept;
+
+  std::size_t window_;
+  double prior_s_;
+  double prior_n_;
+  std::unordered_map<std::uint64_t, Window> links_;
+};
+
+}  // namespace qlec

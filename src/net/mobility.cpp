@@ -1,0 +1,48 @@
+#include "net/mobility.hpp"
+
+namespace qlec {
+
+MobilityModel::MobilityModel(MobilityConfig cfg, std::size_t nodes)
+    : cfg_(cfg), waypoints_(nodes), has_waypoint_(nodes, false) {}
+
+Vec3 MobilityModel::waypoint_for(const Aabb& box, Rng& rng) const {
+  return {rng.uniform(box.lo.x, box.hi.x), rng.uniform(box.lo.y, box.hi.y),
+          rng.uniform(box.lo.z, box.hi.z)};
+}
+
+void MobilityModel::step(Network& net, double death_line, Rng& rng) {
+  if (cfg_.kind == MobilityKind::kNone) return;
+  const Aabb& box = net.domain();
+  for (SensorNode& n : net.nodes()) {
+    if (!n.battery.alive(death_line)) continue;
+    const auto i = static_cast<std::size_t>(n.id);
+    switch (cfg_.kind) {
+      case MobilityKind::kNone:
+        break;
+      case MobilityKind::kRandomWalk: {
+        const Vec3 step{rng.normal(0.0, cfg_.speed),
+                        rng.normal(0.0, cfg_.speed),
+                        rng.normal(0.0, cfg_.speed)};
+        n.pos = box.clamp(n.pos + step);
+        break;
+      }
+      case MobilityKind::kRandomWaypoint: {
+        if (!has_waypoint_[i]) {
+          waypoints_[i] = waypoint_for(box, rng);
+          has_waypoint_[i] = true;
+        }
+        const Vec3 to_target = waypoints_[i] - n.pos;
+        const double dist = to_target.norm();
+        if (dist <= std::max(cfg_.speed, cfg_.arrival_tolerance)) {
+          n.pos = waypoints_[i];
+          has_waypoint_[i] = false;  // re-draw next round
+        } else {
+          n.pos = box.clamp(n.pos + to_target * (cfg_.speed / dist));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace qlec

@@ -1,0 +1,49 @@
+// Node mobility. Section 3.1 motivates round-based re-election with "the
+// mobility of wireless sensor networks"; this module supplies the standard
+// models so experiments can actually move the nodes: a Gaussian random walk
+// and random-waypoint, both confined to the deployment box.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+enum class MobilityKind {
+  kNone,            ///< static deployment (the paper's §5.1 setting)
+  kRandomWalk,      ///< isotropic Gaussian step each round, reflected
+  kRandomWaypoint,  ///< move toward a waypoint at fixed speed, re-draw on
+                    ///< arrival
+};
+
+struct MobilityConfig {
+  MobilityKind kind = MobilityKind::kNone;
+  /// Step scale in meters per round: random-walk sigma, or waypoint speed.
+  double speed = 5.0;
+  /// Waypoint arrival tolerance, meters.
+  double arrival_tolerance = 1.0;
+};
+
+/// Stateful mover; owns per-node waypoints. One instance per simulation.
+class MobilityModel {
+ public:
+  MobilityModel(MobilityConfig cfg, std::size_t nodes);
+
+  /// Advances every node by one round of motion. Dead nodes stay put
+  /// (their hardware still exists; it just stops moving on duty cycles —
+  /// and a drained actuator cannot move anyway).
+  void step(Network& net, double death_line, Rng& rng);
+
+  const MobilityConfig& config() const noexcept { return cfg_; }
+
+ private:
+  Vec3 waypoint_for(const Aabb& box, Rng& rng) const;
+
+  MobilityConfig cfg_;
+  std::vector<Vec3> waypoints_;
+  std::vector<bool> has_waypoint_;
+};
+
+}  // namespace qlec

@@ -1,0 +1,97 @@
+#include "net/network_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace qlec {
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool parse_num(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string network_to_csv(const Network& net) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(CsvRow{"kind", "x", "y", "z", "initial_j", "residual_j"});
+  w.write_row(CsvRow{"domain", num(net.domain().lo.x),
+                     num(net.domain().lo.y), num(net.domain().lo.z), "0",
+                     "0"});
+  w.write_row(CsvRow{"domain", num(net.domain().hi.x),
+                     num(net.domain().hi.y), num(net.domain().hi.z), "0",
+                     "0"});
+  w.write_row(CsvRow{"bs", num(net.bs().x), num(net.bs().y),
+                     num(net.bs().z), "0", "0"});
+  for (const SensorNode& n : net.nodes()) {
+    w.write_row(CsvRow{"node", num(n.pos.x), num(n.pos.y), num(n.pos.z),
+                       num(n.battery.initial()),
+                       num(n.battery.residual())});
+  }
+  return out.str();
+}
+
+std::optional<Network> network_from_csv(const std::string& text) {
+  const auto rows = parse_csv(text);
+  if (rows.empty() || rows.front().size() < 6 ||
+      rows.front()[0] != "kind")
+    return std::nullopt;
+
+  std::vector<Vec3> positions;
+  std::vector<double> initial;
+  std::vector<double> residual;
+  std::vector<Vec3> domain_corners;
+  std::optional<Vec3> bs;
+
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const CsvRow& row = rows[i];
+    if (row.size() < 6) return std::nullopt;
+    double x, y, z, e0, e1;
+    if (!parse_num(row[1], x) || !parse_num(row[2], y) ||
+        !parse_num(row[3], z) || !parse_num(row[4], e0) ||
+        !parse_num(row[5], e1))
+      return std::nullopt;
+    if (row[0] == "node") {
+      positions.push_back({x, y, z});
+      initial.push_back(e0);
+      residual.push_back(e1);
+    } else if (row[0] == "bs") {
+      bs = Vec3{x, y, z};
+    } else if (row[0] == "domain") {
+      domain_corners.push_back({x, y, z});
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!bs || domain_corners.size() != 2) return std::nullopt;
+
+  Aabb box{domain_corners[0], domain_corners[0]};
+  box.expand(domain_corners[1]);
+  for (const Vec3& p : positions) box.expand(p);
+
+  Network net(positions, initial, *bs, box);
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const double drained = initial[i] - residual[i];
+    if (drained > 0.0)
+      net.node(static_cast<int>(i)).battery.consume(drained);
+  }
+  return net;
+}
+
+}  // namespace qlec

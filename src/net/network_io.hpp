@@ -1,0 +1,28 @@
+// Deployment (de)serialization: save/load a Network as CSV so experiments
+// can be replayed on the exact same topology across machines and versions.
+// Schema (one header + one row per node, then one `bs` row):
+//   kind,x,y,z,initial_j,residual_j
+//   node,12.5,80.1,33.0,5,4.7
+//   ...
+//   bs,100,100,200,0,0
+// The domain box is recomputed as the bounding box of all positions
+// expanded to include the original domain corners (stored as two `domain`
+// rows).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace qlec {
+
+/// Serializes positions, energies (initial AND residual, so mid-run state
+/// round-trips), the BS, and the domain box.
+std::string network_to_csv(const Network& net);
+
+/// Parses a document produced by network_to_csv. Returns nullopt on a
+/// malformed header, unknown row kind, or missing bs/domain rows.
+std::optional<Network> network_from_csv(const std::string& text);
+
+}  // namespace qlec

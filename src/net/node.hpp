@@ -1,0 +1,26 @@
+// Sensor node state shared by every protocol.
+#pragma once
+
+#include "energy/battery.hpp"
+#include "geom/vec3.hpp"
+
+namespace qlec {
+
+/// Round value meaning "never elected head yet"; far enough in the past that
+/// any rotating-epoch eligibility test passes.
+inline constexpr int kNeverHead = -1'000'000;
+
+struct SensorNode {
+  int id = 0;
+  Vec3 pos;
+  Battery battery;
+  bool is_head = false;
+  /// Last round this node served as a cluster head (rotating-epoch rule).
+  int last_head_round = kNeverHead;
+
+  SensorNode() = default;
+  SensorNode(int node_id, const Vec3& position, double initial_energy)
+      : id(node_id), pos(position), battery(initial_energy) {}
+};
+
+}  // namespace qlec

@@ -1,0 +1,25 @@
+// Data packet moving from a sensor toward the base station.
+#pragma once
+
+#include <cstdint>
+
+namespace qlec {
+
+/// Sentinel node id for the base station (it has no battery and no index in
+/// Network::nodes()).
+inline constexpr int kBaseStationId = -1;
+
+struct Packet {
+  std::uint64_t id = 0;
+  int src = 0;              ///< originating sensor node id
+  double bits = 0.0;        ///< payload size
+  std::int64_t gen_slot = 0;    ///< global slot of generation
+  std::int64_t deliver_slot = -1;  ///< global slot of BS delivery (-1 = not yet)
+  int hops = 0;             ///< transmissions taken so far
+
+  bool delivered() const noexcept { return deliver_slot >= 0; }
+  /// End-to-end latency in slots; only meaningful once delivered.
+  std::int64_t latency() const noexcept { return deliver_slot - gen_slot; }
+};
+
+}  // namespace qlec

@@ -1,0 +1,26 @@
+#include "net/queue.hpp"
+
+namespace qlec {
+
+bool PacketQueue::push(const Packet& p) {
+  if (capacity_ != 0 && items_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  items_.push_back(p);
+  return true;
+}
+
+std::optional<Packet> PacketQueue::pop() {
+  if (items_.empty()) return std::nullopt;
+  Packet p = items_.front();
+  items_.pop_front();
+  return p;
+}
+
+void PacketQueue::clear() noexcept {
+  items_.clear();
+  drops_ = 0;
+}
+
+}  // namespace qlec

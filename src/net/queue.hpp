@@ -1,0 +1,40 @@
+// Bounded FIFO modelling a cluster head's packet cache. The paper attributes
+// congestion loss to "limited storage caches of cluster heads" and "the long
+// queue at cluster heads"; overflow here is exactly that loss.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace qlec {
+
+class PacketQueue {
+ public:
+  /// `capacity == 0` means unbounded.
+  explicit PacketQueue(std::size_t capacity = 0) noexcept
+      : capacity_(capacity) {}
+
+  /// Enqueues; returns false (and counts a drop) when full.
+  bool push(const Packet& p);
+
+  /// Removes and returns the oldest packet, or nullopt when empty.
+  std::optional<Packet> pop();
+
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Total packets rejected by push() since construction/clear.
+  std::size_t drops() const noexcept { return drops_; }
+
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t drops_ = 0;
+  std::deque<Packet> items_;
+};
+
+}  // namespace qlec

@@ -1,0 +1,38 @@
+#include "rl/convergence.hpp"
+
+#include <cmath>
+
+namespace qlec {
+
+ConvergenceTracker::ConvergenceTracker(double tolerance,
+                                       std::size_t patience) noexcept
+    : tol_(tolerance), patience_(patience == 0 ? 1 : patience) {}
+
+bool ConvergenceTracker::record(double delta) noexcept {
+  ++updates_;
+  if (std::fabs(delta) < tol_) {
+    ++quiet_streak_;
+    if (!converged_ && quiet_streak_ >= patience_) {
+      converged_ = true;
+      converged_at_ = updates_;
+    }
+  } else {
+    quiet_streak_ = 0;
+  }
+  return converged_;
+}
+
+bool ConvergenceTracker::converged() const noexcept { return converged_; }
+
+std::size_t ConvergenceTracker::updates_to_convergence() const noexcept {
+  return converged_ ? converged_at_ : updates_;
+}
+
+void ConvergenceTracker::reset() noexcept {
+  updates_ = 0;
+  quiet_streak_ = 0;
+  converged_at_ = 0;
+  converged_ = false;
+}
+
+}  // namespace qlec

@@ -1,0 +1,39 @@
+// Convergence detection for iterative value updates. The paper's complexity
+// result (Theorem 3) is O(kX) where X is "the number of updates Q-learning
+// needs to converge"; this tracker measures that X.
+#pragma once
+
+#include <cstddef>
+
+namespace qlec {
+
+class ConvergenceTracker {
+ public:
+  /// Converged once `patience` consecutive recorded deltas are all below
+  /// `tolerance`.
+  explicit ConvergenceTracker(double tolerance = 1e-6,
+                              std::size_t patience = 3) noexcept;
+
+  /// Records the magnitude of one update; returns true when the
+  /// convergence criterion is now satisfied.
+  bool record(double delta) noexcept;
+
+  bool converged() const noexcept;
+  /// Total updates recorded so far — the X of Theorem 3.
+  std::size_t updates() const noexcept { return updates_; }
+  /// Updates recorded up to and including the one that first satisfied the
+  /// criterion (== updates() if not converged yet).
+  std::size_t updates_to_convergence() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  double tol_;
+  std::size_t patience_;
+  std::size_t updates_ = 0;
+  std::size_t quiet_streak_ = 0;
+  std::size_t converged_at_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace qlec

@@ -1,0 +1,59 @@
+#include "rl/qtable.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qlec {
+
+QTable::QTable(std::size_t states, std::size_t actions, double init)
+    : states_(states), actions_(actions), q_(states * actions, init) {}
+
+std::size_t QTable::index(std::size_t s, std::size_t a) const {
+  if (s >= states_ || a >= actions_)
+    throw std::out_of_range("QTable index out of range");
+  return s * actions_ + a;
+}
+
+double QTable::get(std::size_t s, std::size_t a) const {
+  return q_[index(s, a)];
+}
+
+void QTable::set(std::size_t s, std::size_t a, double q) {
+  q_[index(s, a)] = q;
+}
+
+double QTable::blend(std::size_t s, std::size_t a, double target,
+                     double alpha) {
+  double& q = q_[index(s, a)];
+  const double delta = alpha * (target - q);
+  q += delta;
+  return std::fabs(delta);
+}
+
+std::size_t QTable::best_action(std::size_t s) const {
+  if (actions_ == 0) throw std::logic_error("QTable has no actions");
+  std::size_t best = 0;
+  double best_q = get(s, 0);
+  for (std::size_t a = 1; a < actions_; ++a) {
+    const double q = get(s, a);
+    if (q > best_q) {
+      best_q = q;
+      best = a;
+    }
+  }
+  return best;
+}
+
+double QTable::max_q(std::size_t s) const {
+  if (actions_ == 0) return 0.0;
+  double best = get(s, 0);
+  for (std::size_t a = 1; a < actions_; ++a) best = std::max(best, get(s, a));
+  return best;
+}
+
+void QTable::fill(double value) {
+  std::fill(q_.begin(), q_.end(), value);
+}
+
+}  // namespace qlec

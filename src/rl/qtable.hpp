@@ -1,0 +1,39 @@
+// Dense tabular Q-value storage: |S| x |A| matrix of doubles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qlec {
+
+class QTable {
+ public:
+  QTable() = default;
+  QTable(std::size_t states, std::size_t actions, double init = 0.0);
+
+  std::size_t states() const noexcept { return states_; }
+  std::size_t actions() const noexcept { return actions_; }
+
+  double get(std::size_t s, std::size_t a) const;
+  void set(std::size_t s, std::size_t a, double q);
+  /// In-place soft update: Q += alpha * (target - Q). Returns |delta|.
+  double blend(std::size_t s, std::size_t a, double target, double alpha);
+
+  /// Greedy action for state s (ties break to the lowest index). Requires
+  /// actions() > 0.
+  std::size_t best_action(std::size_t s) const;
+  /// max_a Q(s, a); 0 for an empty action set.
+  double max_q(std::size_t s) const;
+
+  /// Resets every entry to `value`.
+  void fill(double value);
+
+ private:
+  std::size_t index(std::size_t s, std::size_t a) const;
+
+  std::size_t states_ = 0;
+  std::size_t actions_ = 0;
+  std::vector<double> q_;
+};
+
+}  // namespace qlec

@@ -1,0 +1,49 @@
+#include "sim/experiment.hpp"
+
+#include <stdexcept>
+
+namespace qlec {
+
+Network build_network(const ExperimentConfig& cfg, std::uint64_t seed) {
+  Rng rng(seed);
+  if (cfg.deployment == "uniform")
+    return make_uniform_network(cfg.scenario, rng);
+  if (cfg.deployment == "terrain")
+    return make_terrain_network(cfg.scenario, rng);
+  throw std::invalid_argument("unknown deployment: " + cfg.deployment);
+}
+
+std::vector<SimResult> run_replications(const std::string& protocol_name,
+                                        const ExperimentConfig& cfg,
+                                        ThreadPool* pool) {
+  std::vector<SimResult> results(cfg.seeds);
+  // Protocols and simulator must agree on what "dead" means; the sim's
+  // death line is authoritative for the whole experiment.
+  ProtocolOptions protocol_opts = cfg.protocol;
+  protocol_opts.death_line = cfg.sim.death_line;
+  const auto run_one = [&](std::size_t i) {
+    const std::uint64_t seed = cfg.base_seed + i;
+    Network net = build_network(cfg, seed);
+    // Distinct stream for protocol/sim randomness vs deployment.
+    Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
+    auto protocol = make_protocol(protocol_name, net, protocol_opts);
+    results[i] = run_simulation(net, *protocol, cfg.sim, rng);
+  };
+  if (pool != nullptr && cfg.seeds > 1) {
+    pool->parallel_for(cfg.seeds, run_one);
+  } else {
+    for (std::size_t i = 0; i < cfg.seeds; ++i) run_one(i);
+  }
+  return results;
+}
+
+AggregatedMetrics run_experiment(const std::string& protocol_name,
+                                 const ExperimentConfig& cfg,
+                                 ThreadPool* pool) {
+  AggregatedMetrics agg;
+  for (const SimResult& r : run_replications(protocol_name, cfg, pool))
+    agg.add(r);
+  return agg;
+}
+
+}  // namespace qlec

@@ -1,0 +1,43 @@
+// Multi-seed experiment runner: builds a fresh network per seed, runs the
+// named protocol through the simulator, and aggregates the metrics. Fans
+// out across a thread pool when one is supplied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/protocols/registry.hpp"
+#include "sim/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qlec {
+
+struct ExperimentConfig {
+  ScenarioConfig scenario;
+  SimConfig sim;
+  ProtocolOptions protocol;
+  std::size_t seeds = 5;
+  std::uint64_t base_seed = 42;
+  /// "uniform" (default) or "terrain" deployment.
+  std::string deployment = "uniform";
+};
+
+/// Runs `cfg.seeds` independent replications of `protocol_name` and returns
+/// per-seed results (index == seed offset).
+std::vector<SimResult> run_replications(const std::string& protocol_name,
+                                        const ExperimentConfig& cfg,
+                                        ThreadPool* pool = nullptr);
+
+/// Convenience: replications + aggregation.
+AggregatedMetrics run_experiment(const std::string& protocol_name,
+                                 const ExperimentConfig& cfg,
+                                 ThreadPool* pool = nullptr);
+
+/// Builds the deployment for one seed (exposed for benches that need the
+/// raw network, e.g. the Fig. 4 heat map).
+Network build_network(const ExperimentConfig& cfg, std::uint64_t seed);
+
+}  // namespace qlec

@@ -1,0 +1,44 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace qlec {
+
+std::string trace_to_csv(const std::vector<RoundStats>& trace) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row(CsvRow{"round", "alive", "heads", "residual_j", "generated",
+                     "delivered"});
+  for (const RoundStats& r : trace) {
+    char residual[32];
+    std::snprintf(residual, sizeof residual, "%.9g", r.total_residual);
+    w.write_row(CsvRow{std::to_string(r.round), std::to_string(r.alive),
+                       std::to_string(r.heads), residual,
+                       std::to_string(r.generated),
+                       std::to_string(r.delivered)});
+  }
+  return out.str();
+}
+
+double SimResult::pdr() const noexcept {
+  if (generated == 0) return 1.0;
+  return static_cast<double>(delivered) / static_cast<double>(generated);
+}
+
+void AggregatedMetrics::add(const SimResult& r) {
+  if (protocol.empty()) protocol = r.protocol;
+  pdr.add(r.pdr());
+  total_energy.add(r.total_energy_consumed);
+  first_death.add(static_cast<double>(
+      r.first_death_round >= 0 ? r.first_death_round : r.rounds_completed));
+  half_death.add(static_cast<double>(
+      r.half_death_round >= 0 ? r.half_death_round : r.rounds_completed));
+  mean_latency.add(r.latency.mean());
+  heads_per_round.add(r.heads_per_round.mean());
+  delivered.add(static_cast<double>(r.delivered));
+  generated.add(static_cast<double>(r.generated));
+}
+
+}  // namespace qlec

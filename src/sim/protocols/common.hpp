@@ -1,0 +1,57 @@
+// Helpers shared by the baseline protocol adapters: nearest-head member
+// assignment and the HELLO control-energy charge (applied uniformly across
+// protocols so the Fig. 3(b) comparison is apples-to-apples).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "energy/radio_model.hpp"
+#include "net/network.hpp"
+
+namespace qlec::detail {
+
+/// assignment[i] = id of the nearest alive head for node i (kBaseStationId
+/// when `heads` is empty).
+inline std::vector<int> assign_nearest_head(const Network& net,
+                                            const std::vector<int>& heads,
+                                            double death_line) {
+  std::vector<int> assignment(net.size(), kBaseStationId);
+  for (const SensorNode& n : net.nodes()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const int h : heads) {
+      if (!net.node(h).battery.alive(death_line)) continue;
+      const double d = net.dist(n.id, h);
+      if (d < best) {
+        best = d;
+        assignment[static_cast<std::size_t>(n.id)] = h;
+      }
+    }
+  }
+  return assignment;
+}
+
+/// Charges each head one HELLO broadcast over `radius` and each alive
+/// member one HELLO reception (members hear their own head announce).
+inline void charge_hello(Network& net, const std::vector<int>& heads,
+                         const std::vector<int>& assignment,
+                         const RadioModel& radio, double hello_bits,
+                         double radius, double death_line,
+                         EnergyLedger& ledger) {
+  if (hello_bits <= 0.0) return;
+  for (const int h : heads) {
+    ledger.charge(EnergyUse::kControl,
+                  net.node(h).battery.consume(
+                      radio.tx_energy(hello_bits, radius)));
+  }
+  for (const SensorNode& n : net.nodes()) {
+    const int a = assignment[static_cast<std::size_t>(n.id)];
+    if (a == kBaseStationId || n.is_head) continue;
+    if (!n.battery.alive(death_line)) continue;
+    ledger.charge(EnergyUse::kControl,
+                  net.node(n.id).battery.consume(
+                      radio.rx_energy(hello_bits)));
+  }
+}
+
+}  // namespace qlec::detail

@@ -1,0 +1,33 @@
+// Plain DEEC adapter (ablation baseline): energy-proportional election
+// WITHOUT the QLEC improvements (no Eq. 4 threshold, no Algorithm 3
+// pruning), members join the nearest head, heads uplink directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/deec.hpp"
+#include "energy/radio_model.hpp"
+#include "sim/protocol.hpp"
+
+namespace qlec {
+
+class DeecProtocol final : public ClusteringProtocol {
+ public:
+  DeecProtocol(DeecParams params, double death_line, RadioModel radio,
+               double hello_bits = 200.0);
+
+  std::string name() const override { return "DEEC"; }
+  void on_round_start(Network& net, int round, Rng& rng,
+                      EnergyLedger& ledger) override;
+  int route(const Network& net, int src, double bits, Rng& rng) override;
+
+ private:
+  DeecParams params_;
+  double death_line_;
+  RadioModel radio_;
+  double hello_bits_;
+  std::vector<int> assignment_;
+};
+
+}  // namespace qlec

@@ -1,0 +1,2 @@
+// DirectProtocol is header-only; this TU anchors it in the qlec_sim library.
+#include "sim/protocols/direct_protocol.hpp"

@@ -1,0 +1,31 @@
+// No clustering at all: every node uplinks straight to the BS. Sanity
+// baseline showing why clustering exists (burns multi-path amplifier energy
+// on every packet).
+#pragma once
+
+#include <string>
+
+#include "sim/protocol.hpp"
+
+namespace qlec {
+
+class DirectProtocol final : public ClusteringProtocol {
+ public:
+  std::string name() const override { return "direct"; }
+  void on_round_start(Network& net, int round, Rng& rng,
+                      EnergyLedger& ledger) override {
+    (void)round;
+    (void)rng;
+    (void)ledger;
+    net.reset_heads();
+  }
+  int route(const Network& net, int src, double bits, Rng& rng) override {
+    (void)net;
+    (void)src;
+    (void)bits;
+    (void)rng;
+    return kBaseStationId;
+  }
+};
+
+}  // namespace qlec

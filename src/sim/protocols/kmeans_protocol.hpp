@@ -1,0 +1,35 @@
+// "Classic k-means clustering" comparator: every round, cluster the alive
+// nodes purely by position, head each cluster with the node nearest its
+// centroid (energy-blind — the property the paper's Fig. 3 punishes), and
+// send members to their geometric head.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/radio_model.hpp"
+#include "sim/protocol.hpp"
+
+namespace qlec {
+
+class KmeansProtocol final : public ClusteringProtocol {
+ public:
+  KmeansProtocol(std::size_t k, double death_line, RadioModel radio,
+                 double hello_bits = 200.0);
+
+  std::string name() const override { return "k-means"; }
+  void on_round_start(Network& net, int round, Rng& rng,
+                      EnergyLedger& ledger) override;
+  int route(const Network& net, int src, double bits, Rng& rng) override;
+
+  const std::vector<int>& assignment() const noexcept { return assignment_; }
+
+ private:
+  std::size_t k_;
+  double death_line_;
+  RadioModel radio_;
+  double hello_bits_;
+  std::vector<int> assignment_;
+};
+
+}  // namespace qlec

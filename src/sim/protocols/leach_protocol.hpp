@@ -1,0 +1,31 @@
+// Classic LEACH adapter (ablation baseline): randomized rotation election,
+// members join the nearest head, heads uplink directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/radio_model.hpp"
+#include "sim/protocol.hpp"
+
+namespace qlec {
+
+class LeachProtocol final : public ClusteringProtocol {
+ public:
+  LeachProtocol(double p, double death_line, RadioModel radio,
+                double hello_bits = 200.0);
+
+  std::string name() const override { return "LEACH"; }
+  void on_round_start(Network& net, int round, Rng& rng,
+                      EnergyLedger& ledger) override;
+  int route(const Network& net, int src, double bits, Rng& rng) override;
+
+ private:
+  double p_;
+  double death_line_;
+  RadioModel radio_;
+  double hello_bits_;
+  std::vector<int> assignment_;
+};
+
+}  // namespace qlec

@@ -1,0 +1,45 @@
+#include "sim/protocols/qelar_protocol.hpp"
+
+namespace qlec {
+
+QelarProtocol::QelarProtocol(Config cfg) : cfg_(cfg) {
+  cfg_.qelar.link = &cfg_.link;
+}
+
+void QelarProtocol::on_round_start(Network& net, int round, Rng& rng,
+                                   EnergyLedger& ledger) {
+  (void)round;
+  (void)ledger;  // no cluster control plane
+  net.reset_heads();
+  // Rebuild the graph (mobility / deaths) and re-train from scratch with
+  // the current residual energies; V converges in a few sweeps on these
+  // graph sizes, and the update count accumulates across rounds.
+  if (router_ != nullptr) updates_before_ += router_->updates();
+  graph_ = std::make_unique<ConnectivityGraph>(net, cfg_.comm_range,
+                                               cfg_.packet_bits, radio_);
+  router_ = std::make_unique<QelarRouter>(*graph_, net, cfg_.qelar);
+  for (int s = 0; s < cfg_.sweeps_per_round; ++s) {
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (!net.node(static_cast<int>(i)).battery.alive(0.0)) continue;
+      router_->train_episode(static_cast<int>(i), 2 * net.size() + 16,
+                             rng);
+    }
+  }
+}
+
+int QelarProtocol::route(const Network& net, int src, double bits,
+                         Rng& rng) {
+  (void)net;
+  (void)bits;
+  (void)rng;
+  if (router_ == nullptr) return kBaseStationId;
+  const int hop = router_->best_hop(src);
+  // Isolated node: only option is a (likely doomed) direct attempt.
+  return hop == -2 ? kBaseStationId : hop;
+}
+
+std::size_t QelarProtocol::learning_updates() const {
+  return updates_before_ + (router_ != nullptr ? router_->updates() : 0);
+}
+
+}  // namespace qlec

@@ -1,0 +1,45 @@
+// QELAR adapter (Hu & Fei, TMC 2010 — the paper's [6]): flat multi-hop
+// Q-routing with no clustering. Every node store-and-forwards toward the
+// BS along hops chosen by the learned V values; the connectivity graph and
+// a few training sweeps refresh each round (positions drift under
+// mobility, residual energies change the rewards).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "routing/qelar.hpp"
+#include "sim/protocol.hpp"
+
+namespace qlec {
+
+class QelarProtocol final : public ClusteringProtocol {
+ public:
+  struct Config {
+    double comm_range = 70.0;    ///< neighbour radius, meters
+    double packet_bits = 4000.0; ///< edge-energy reference size
+    QelarParams qelar;           ///< reward/learning parameters
+    int sweeps_per_round = 2;    ///< refresh training per round
+    LinkModel link;              ///< channel model for planning
+  };
+
+  explicit QelarProtocol(Config cfg);
+
+  std::string name() const override { return "QELAR"; }
+  bool flat_routing() const override { return true; }
+  void on_round_start(Network& net, int round, Rng& rng,
+                      EnergyLedger& ledger) override;
+  int route(const Network& net, int src, double bits, Rng& rng) override;
+  std::size_t learning_updates() const override;
+
+  const QelarRouter* router() const noexcept { return router_.get(); }
+
+ private:
+  Config cfg_;
+  RadioModel radio_;
+  std::unique_ptr<ConnectivityGraph> graph_;
+  std::unique_ptr<QelarRouter> router_;
+  std::size_t updates_before_ = 0;  ///< carried across router rebuilds
+};
+
+}  // namespace qlec

@@ -1,0 +1,99 @@
+#include "sim/protocols/registry.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/optimal_k.hpp"
+#include "core/qlec.hpp"
+#include "sim/protocols/deec_protocol.hpp"
+#include "sim/protocols/direct_protocol.hpp"
+#include "sim/protocols/fcm_protocol.hpp"
+#include "sim/protocols/heed_protocol.hpp"
+#include "sim/protocols/ideec_protocol.hpp"
+#include "sim/protocols/kmeans_protocol.hpp"
+#include "sim/protocols/leach_protocol.hpp"
+#include "sim/protocols/qelar_protocol.hpp"
+#include "sim/protocols/tl_leach_protocol.hpp"
+
+namespace qlec {
+namespace {
+
+std::size_t resolve_k(const Network& net, const ProtocolOptions& opt) {
+  if (opt.k > 0) return opt.k;
+  if (opt.qlec.force_k > 0)
+    return static_cast<std::size_t>(opt.qlec.force_k);
+  const double m_side = std::cbrt(std::max(net.domain().volume(), 0.0));
+  return optimal_cluster_count_rounded(net.size(), m_side,
+                                       net.mean_dist_to_bs(), opt.radio);
+}
+
+}  // namespace
+
+std::unique_ptr<ClusteringProtocol> make_protocol(const std::string& name,
+                                                  const Network& net,
+                                                  const ProtocolOptions& opt) {
+  const RadioModel radio(opt.radio);
+  const std::size_t k = resolve_k(net, opt);
+  const double p =
+      static_cast<double>(k) /
+      static_cast<double>(std::max<std::size_t>(net.size(), 1));
+
+  if (name == "qlec") {
+    QlecParams params = opt.qlec;
+    params.hello_bits = opt.hello_bits;
+    return std::make_unique<QlecProtocol>(net, params, radio,
+                                          opt.death_line);
+  }
+  if (name == "kmeans")
+    return std::make_unique<KmeansProtocol>(k, opt.death_line, radio,
+                                            opt.hello_bits);
+  if (name == "fcm")
+    return std::make_unique<FcmProtocol>(k, opt.fcm_levels, opt.death_line,
+                                         radio, opt.hello_bits);
+  if (name == "leach")
+    return std::make_unique<LeachProtocol>(p, opt.death_line, radio,
+                                           opt.hello_bits);
+  if (name == "deec") {
+    DeecParams dp;
+    dp.p_opt = p;
+    dp.total_rounds = opt.qlec.total_rounds;
+    return std::make_unique<DeecProtocol>(dp, opt.death_line, radio,
+                                          opt.hello_bits);
+  }
+  if (name == "tl-leach") {
+    // Level split: roughly a third of the heads serve as primaries.
+    return std::make_unique<TlLeachProtocol>(p / 3.0, p, opt.death_line,
+                                             radio, opt.hello_bits);
+  }
+  if (name == "heed") {
+    HeedConfig hc;
+    hc.cluster_range = cluster_radius(
+        std::cbrt(std::max(net.domain().volume(), 0.0)),
+        static_cast<double>(k));
+    hc.c_prob = p;
+    return std::make_unique<HeedProtocol>(hc, opt.death_line, radio,
+                                          opt.hello_bits);
+  }
+  if (name == "ideec")
+    return std::make_unique<ImprovedDeecProtocol>(
+        k, opt.qlec.total_rounds, opt.death_line, radio, opt.hello_bits);
+  if (name == "qelar") {
+    QelarProtocol::Config qc;
+    qc.qelar.gamma = opt.qlec.gamma;
+    // Scale the neighbour radius with the deployment (~cluster radius for
+    // k_opt keeps the graph connected without being complete).
+    const double m_side = std::cbrt(std::max(net.domain().volume(), 0.0));
+    qc.comm_range =
+        std::max(40.0, 1.2 * cluster_radius(m_side, static_cast<double>(k)));
+    return std::make_unique<QelarProtocol>(qc);
+  }
+  if (name == "direct") return std::make_unique<DirectProtocol>();
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+std::vector<std::string> protocol_names() {
+  return {"qlec", "ideec", "kmeans",   "fcm",    "leach",
+          "deec", "heed",  "tl-leach", "qelar",  "direct"};
+}
+
+}  // namespace qlec

@@ -1,0 +1,33 @@
+// Name -> protocol factory so benches/examples can sweep algorithms by
+// string ("qlec", "fcm", "kmeans", "leach", "deec", "direct").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "energy/radio_model.hpp"
+#include "sim/protocol.hpp"
+
+namespace qlec {
+
+struct ProtocolOptions {
+  QlecParams qlec;         ///< QLEC hyper-parameters (also supplies R)
+  std::size_t k = 0;       ///< cluster count for k-means/FCM; 0 = use k_opt
+  int fcm_levels = 3;      ///< hierarchy rings for the FCM comparator
+  double death_line = 0.0;
+  double hello_bits = 200.0;
+  RadioParams radio;
+};
+
+/// Builds the named protocol configured against `net`. Unknown names throw
+/// std::invalid_argument.
+std::unique_ptr<ClusteringProtocol> make_protocol(const std::string& name,
+                                                  const Network& net,
+                                                  const ProtocolOptions& opt);
+
+/// All names make_protocol accepts.
+std::vector<std::string> protocol_names();
+
+}  // namespace qlec

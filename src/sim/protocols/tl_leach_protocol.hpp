@@ -1,0 +1,38 @@
+// TL-LEACH adapter (Related Work [10]): members send to the nearest
+// secondary head; secondaries relay their fused aggregate through the
+// nearest primary head; primaries uplink to the BS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/tl_leach.hpp"
+#include "energy/radio_model.hpp"
+#include "sim/protocol.hpp"
+
+namespace qlec {
+
+class TlLeachProtocol final : public ClusteringProtocol {
+ public:
+  TlLeachProtocol(double p_primary, double p_secondary, double death_line,
+                  RadioModel radio, double hello_bits = 200.0);
+
+  std::string name() const override { return "TL-LEACH"; }
+  void on_round_start(Network& net, int round, Rng& rng,
+                      EnergyLedger& ledger) override;
+  int route(const Network& net, int src, double bits, Rng& rng) override;
+  int uplink_target(const Network& net, int head, Rng& rng) override;
+
+  const TlLeachLevels& levels() const noexcept { return levels_; }
+
+ private:
+  double p_primary_;
+  double p_secondary_;
+  double death_line_;
+  RadioModel radio_;
+  double hello_bits_;
+  std::vector<int> assignment_;
+  TlLeachLevels levels_;
+};
+
+}  // namespace qlec

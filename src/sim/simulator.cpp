@@ -1,0 +1,362 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/radio_model.hpp"
+#include "net/queue.hpp"
+#include "net/traffic.hpp"
+
+namespace qlec {
+namespace {
+
+/// A packet waiting at a node that is no longer able to forward it this
+/// round (leftover head-cache content); re-injected next round.
+struct Stranded {
+  int holder;
+  Packet packet;
+};
+
+class SimRun {
+ public:
+  SimRun(Network& net, ClusteringProtocol& protocol, const SimConfig& cfg,
+         Rng& rng)
+      : net_(net),
+        protocol_(protocol),
+        cfg_(cfg),
+        rng_(rng),
+        radio_(cfg.radio),
+        traffic_(net.size(), cfg.mean_interarrival, rng),
+        mobility_(cfg.mobility, net.size()),
+        flat_(protocol.flat_routing()) {
+    result_.protocol = protocol.name();
+  }
+
+  SimResult run();
+
+ private:
+  bool alive(int id) const {
+    return net_.node(id).battery.alive(cfg_.death_line);
+  }
+
+  void charge(int id, EnergyUse use, double joules) {
+    result_.energy.charge(use, net_.node(id).battery.consume(joules));
+  }
+
+  /// Member data path: route + transmit (with retries) + enqueue at a head
+  /// or deliver straight to the BS.
+  void deliver_from(int src, Packet p);
+
+  /// Round-end uplink of one head's fused aggregate, following the
+  /// protocol's uplink chain toward the BS.
+  struct HeadBuffer {
+    double bits = 0.0;
+    std::vector<Packet> packets;
+  };
+  void deliver_aggregate(int head, HeadBuffer buf);
+
+  void record_delivery(Packet& p, std::int64_t slot) {
+    p.deliver_slot = slot;
+    ++result_.delivered;
+    result_.latency.add(static_cast<double>(p.latency()));
+  }
+
+  Network& net_;
+  ClusteringProtocol& protocol_;
+  const SimConfig& cfg_;
+  Rng& rng_;
+  RadioModel radio_;
+  PoissonTraffic traffic_;
+  MobilityModel mobility_;
+  SimResult result_;
+
+  std::unordered_map<int, PacketQueue> queues_;  // per head (or per node
+                                                 // in flat-routing mode)
+  std::unordered_map<int, HeadBuffer> fused_;    // per current head
+  std::vector<Stranded> carryover_;
+  std::int64_t global_slot_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+  bool flat_ = false;
+  /// Hop budget per packet in flat mode; beyond it the route has cycled.
+  static constexpr int kFlatHopCap = 64;
+};
+
+void SimRun::deliver_from(int src, Packet p) {
+  if (!alive(src)) {
+    ++result_.lost_dead;
+    return;
+  }
+  if (flat_ && p.hops >= kFlatHopCap) {
+    ++result_.lost_link;  // routing cycle / unreachable sink
+    return;
+  }
+  // A node that is itself a head this round feeds its own cache directly
+  // (sensing costs no radio energy).
+  if (net_.node(src).is_head) {
+    auto it = queues_.find(src);
+    if (it != queues_.end() && it->second.push(p)) return;
+    ++result_.lost_queue;
+    return;
+  }
+
+  bool last_failure_was_overflow = false;
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    // Re-consult the protocol on every retry: the failed b_i -> b_i
+    // transition leaves the agent free to pick a different action.
+    const int target = protocol_.route(net_, src, p.bits, rng_);
+    const double d = net_.dist(src, target);
+    charge(src, EnergyUse::kTransmit, radio_.tx_energy(p.bits, d));
+    ++p.hops;
+    const bool target_up = target == kBaseStationId || alive(target);
+    const bool link_ok =
+        target_up && (target == kBaseStationId
+                          ? cfg_.link.attempt_bs(d, rng_)
+                          : cfg_.link.attempt(d, rng_));
+    // The ACK only comes back if the radio delivered AND the head had
+    // cache room ("limited storage caches of cluster heads may lead to
+    // packet loss") — so queue overflow also trains the link estimator.
+    bool ack = link_ok;
+    if (link_ok && target != kBaseStationId) {
+      charge(target, EnergyUse::kReceive, radio_.rx_energy(p.bits));
+      auto it = queues_.find(target);
+      ack = it != queues_.end() && it->second.push(p);
+    }
+    protocol_.on_tx_result(net_, src, target, ack);
+    if (ack) {
+      if (target == kBaseStationId) record_delivery(p, global_slot_);
+      return;  // delivered to BS or safely cached at a head
+    }
+    last_failure_was_overflow = link_ok;
+  }
+  if (last_failure_was_overflow) {
+    ++result_.lost_queue;  // congestion loss at a head cache
+  } else {
+    ++result_.lost_link;
+  }
+}
+
+void SimRun::deliver_aggregate(int head, HeadBuffer buf) {
+  if (buf.packets.empty()) return;
+  int holder = head;
+  int relay_hops = 0;
+  // Head chains strictly descend toward the BS for well-formed protocols;
+  // the cap guards against a buggy uplink_target cycling.
+  constexpr int kMaxRelayHops = 64;
+  while (relay_hops <= kMaxRelayHops) {
+    if (!alive(holder)) {
+      result_.lost_dead += buf.packets.size();
+      return;
+    }
+    const int target = protocol_.uplink_target(net_, holder, rng_);
+    bool success = false;
+    for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+      const double d = net_.dist(holder, target);
+      charge(holder, EnergyUse::kTransmit, radio_.tx_energy(buf.bits, d));
+      const bool target_up = target == kBaseStationId || alive(target);
+      success = target_up && (target == kBaseStationId
+                                  ? cfg_.link.attempt_bs(d, rng_)
+                                  : cfg_.link.attempt(d, rng_));
+      if (target == kBaseStationId) {
+        protocol_.on_uplink_result(net_, holder, success);
+      } else {
+        protocol_.on_tx_result(net_, holder, target, success);
+      }
+      if (success) break;
+    }
+    if (!success) {
+      result_.lost_link += buf.packets.size();
+      return;
+    }
+    if (target == kBaseStationId) {
+      // One slot of delay per relay hop taken on the way up.
+      for (Packet& p : buf.packets)
+        record_delivery(p, global_slot_ + relay_hops);
+      return;
+    }
+    // Intermediate head relay: receive energy, congestion check against the
+    // relay's remaining cache headroom (the multi-hop loss mechanism the
+    // paper attributes to the FCM comparator).
+    charge(target, EnergyUse::kReceive, radio_.rx_energy(buf.bits));
+    auto it = queues_.find(target);
+    if (it != queues_.end() && cfg_.queue_capacity != 0 &&
+        it->second.size() >= cfg_.queue_capacity) {
+      result_.lost_queue += buf.packets.size();
+      return;
+    }
+    holder = target;
+    ++relay_hops;
+  }
+  result_.lost_link += buf.packets.size();
+}
+
+SimResult SimRun::run() {
+  const std::size_t n = net_.size();
+  for (int round = 0; round < cfg_.rounds; ++round) {
+    mobility_.step(net_, cfg_.death_line, rng_);
+    protocol_.on_round_start(net_, round, rng_, result_.energy);
+    const std::vector<int> heads = net_.head_ids();
+    result_.heads_per_round.add(static_cast<double>(heads.size()));
+
+    if (flat_) {
+      // Flat routing: every node owns a persistent relay buffer (created
+      // once; contents carry over rounds naturally).
+      if (round == 0) {
+        for (const SensorNode& n : net_.nodes())
+          queues_.emplace(n.id, PacketQueue(cfg_.queue_capacity));
+      }
+    } else {
+      queues_.clear();
+      fused_.clear();
+      for (const int h : heads) {
+        queues_.emplace(h, PacketQueue(cfg_.queue_capacity));
+        fused_.emplace(h, HeadBuffer{});
+      }
+    }
+
+    std::vector<Stranded> injections;
+    injections.swap(carryover_);
+
+    for (int slot = 0; slot < cfg_.slots_per_round; ++slot) {
+      // (a) flat-mode relay service runs FIRST and two-phase (stage all
+      // pops, then forward), so every relay hop costs at least one slot —
+      // otherwise id-ordered relays would chain a packet to the BS within
+      // a single slot.
+      if (flat_) {
+        std::vector<Stranded> staged;
+        for (const SensorNode& n : net_.nodes()) {
+          if (!n.battery.alive(cfg_.death_line)) continue;
+          auto it = queues_.find(n.id);
+          if (it == queues_.end()) continue;
+          for (int s = 0; s < cfg_.service_per_slot; ++s) {
+            auto p = it->second.pop();
+            if (!p) break;
+            staged.push_back(Stranded{n.id, *p});
+          }
+        }
+        for (Stranded& s : staged) deliver_from(s.holder, s.packet);
+      }
+      // (b) stranded packets from the previous round re-enter first.
+      if (slot == 0) {
+        for (Stranded& s : injections) deliver_from(s.holder, s.packet);
+        injections.clear();
+      }
+      // (b) fresh Poisson arrivals.
+      for (const std::size_t src : traffic_.arrivals_in_slot(global_slot_,
+                                                             rng_)) {
+        const int id = static_cast<int>(src);
+        if (!alive(id)) continue;  // dead sensors stop sensing
+        Packet p;
+        p.id = next_packet_id_++;
+        p.src = id;
+        p.bits = cfg_.packet_bits;
+        p.gen_slot = global_slot_;
+        ++result_.generated;
+        deliver_from(id, p);
+      }
+      // (d) cluster-mode head service: aggregate into the fused buffer.
+      if (!flat_) {
+        for (const int h : heads) {
+          if (!alive(h)) continue;
+          PacketQueue& q = queues_.at(h);
+          HeadBuffer& buf = fused_.at(h);
+          for (int s = 0; s < cfg_.service_per_slot; ++s) {
+            auto p = q.pop();
+            if (!p) break;
+            charge(h, EnergyUse::kAggregate,
+                   radio_.aggregation_energy(p->bits));
+            if (cfg_.aggregation == Aggregation::kRatioCompress) {
+              buf.bits += p->bits * cfg_.compression;
+            } else {
+              buf.bits = cfg_.packet_bits;  // one fixed-size fused summary
+            }
+            buf.packets.push_back(*p);
+          }
+        }
+      }
+      // (e) idle listening drain.
+      if (cfg_.idle_listen_j_per_slot > 0.0) {
+        for (SensorNode& n : net_.nodes()) {
+          if (!n.battery.alive(cfg_.death_line)) continue;
+          result_.energy.charge(
+              EnergyUse::kIdle,
+              n.battery.consume(cfg_.idle_listen_j_per_slot));
+        }
+      }
+      ++global_slot_;
+    }
+
+    if (!flat_) {
+      // (d) round-end uplinks.
+      for (const int h : heads)
+        deliver_aggregate(h, std::move(fused_.at(h)));
+
+      // (e) leftover cache content strands to next round (the ex-head
+      // re-routes it as an ordinary member), unless the holder died.
+      for (const int h : heads) {
+        PacketQueue& q = queues_.at(h);
+        while (auto p = q.pop()) {
+          if (alive(h)) {
+            carryover_.push_back(Stranded{h, *p});
+          } else {
+            ++result_.lost_dead;
+          }
+        }
+      }
+    }
+
+    if (cfg_.harvest_per_round > 0.0) {
+      for (SensorNode& n : net_.nodes())
+        if (n.battery.alive(cfg_.death_line))
+          n.battery.recharge(cfg_.harvest_per_round);
+    }
+
+    protocol_.on_round_end(net_, round);
+    ++result_.rounds_completed;
+
+    // (f) lifespan bookkeeping.
+    const std::size_t alive_now = net_.alive_count(cfg_.death_line);
+    if (cfg_.record_trace) {
+      result_.trace.push_back(RoundStats{
+          round, alive_now, heads.size(), net_.total_residual_energy(),
+          result_.generated, result_.delivered});
+    }
+    if (result_.first_death_round < 0 && alive_now < n)
+      result_.first_death_round = round;
+    if (result_.half_death_round < 0 && alive_now <= n / 2)
+      result_.half_death_round = round;
+    if (result_.last_death_round < 0 && alive_now == 0)
+      result_.last_death_round = round;
+    if (alive_now == 0) break;
+    if (cfg_.stop_at_first_death && result_.first_death_round >= 0) break;
+  }
+
+  // Packets still stranded when the run ends never reached the BS.
+  result_.lost_dead += carryover_.size();
+  if (flat_) {
+    for (auto& [id, q] : queues_) {
+      (void)id;
+      result_.lost_dead += q.size();
+    }
+  }
+
+  result_.per_node_consumed.reserve(n);
+  result_.per_node_rate.reserve(n);
+  for (const SensorNode& node : net_.nodes()) {
+    result_.per_node_consumed.push_back(node.battery.consumed());
+    result_.per_node_rate.push_back(node.battery.consumption_rate());
+    result_.total_energy_consumed += node.battery.consumed();
+  }
+  result_.q_evaluations = protocol_.learning_updates();
+  return result_;
+}
+
+}  // namespace
+
+SimResult run_simulation(Network& net, ClusteringProtocol& protocol,
+                         const SimConfig& cfg, Rng& rng) {
+  SimRun run(net, protocol, cfg, rng);
+  return run.run();
+}
+
+}  // namespace qlec

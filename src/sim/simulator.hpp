@@ -1,0 +1,66 @@
+// The round-based WSN simulator. Each round: the protocol elects heads,
+// Poisson traffic arrives slot by slot, members transmit to their chosen
+// relay (bounded head caches, lossy links, ACK feedback), heads service and
+// aggregate their queues, and at round end each head pushes its fused
+// aggregate toward the BS (directly, or over a multi-hop head chain for
+// hierarchical protocols). See DESIGN.md §3 for the model rationale.
+#pragma once
+
+#include "energy/radio_model.hpp"
+#include "net/link.hpp"
+#include "net/mobility.hpp"
+#include "net/network.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+/// How a cluster head fuses its cache into the uplink payload.
+/// Table 2 prescribes a 50% compression *ratio* (uplink bits proportional
+/// to traffic), but Eq. 6 / Theorem 1 assume the classic Heinzelman
+/// *fixed-size summary* (each head uplinks exactly L bits per round); the
+/// two give different k_opt behaviour, so both are supported.
+enum class Aggregation {
+  kRatioCompress,  ///< uplink bits = compression * collected bits (Table 2)
+  kFixedSummary,   ///< uplink bits = packet_bits per head per round (Eq. 6)
+};
+
+struct SimConfig {
+  int rounds = 20;            ///< R (paper §5.1 uses 20)
+  int slots_per_round = 20;   ///< time resolution within a round
+  /// Mean packet inter-arrival time per node, in slots (the paper's
+  /// lambda; smaller = more congested). <= 0 disables traffic.
+  double mean_interarrival = 4.0;
+  double packet_bits = 4000.0;
+  std::size_t queue_capacity = 32;  ///< head cache size, packets
+  int service_per_slot = 8;         ///< packets a head aggregates per slot
+  double compression = 0.5;         ///< Table 2: 50% fusion ratio
+  Aggregation aggregation = Aggregation::kRatioCompress;
+  double death_line = 0.0;          ///< node dies at residual <= this
+  /// Stop simulating once the first node dies (lifespan experiments).
+  bool stop_at_first_death = false;
+  /// Extra transmission attempts after a failed (un-ACKed) send. Each retry
+  /// re-consults the protocol, matching the b_i -> b_i self-transition of
+  /// the QLEC MDP.
+  int max_retries = 3;
+  RadioParams radio;
+  LinkModel link;
+  /// Node motion applied at the start of every round (§3.1 motivates the
+  /// rotation by mobility; default static matches §5.1).
+  MobilityConfig mobility;
+  /// Energy harvested back per node per round, joules (harvesting-aware
+  /// scenarios a la HyDRO). Recharge caps at the initial capacity.
+  double harvest_per_round = 0.0;
+  /// Record a per-round RoundStats trace into SimResult::trace.
+  bool record_trace = false;
+  /// Idle-listening drain per alive node per slot, joules (radio duty
+  /// cycling; 0 = perfect sleep scheduling, the paper's implicit model).
+  double idle_listen_j_per_slot = 0.0;
+};
+
+/// Runs the full simulation, mutating `net` (battery drain, head flags).
+SimResult run_simulation(Network& net, ClusteringProtocol& protocol,
+                         const SimConfig& cfg, Rng& rng);
+
+}  // namespace qlec

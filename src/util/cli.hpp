@@ -1,0 +1,49 @@
+// Minimal command-line parsing for the example/bench drivers:
+// --key=value and --key value forms, with typed getters, defaults, and an
+// auto-generated usage string.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qlec {
+
+class CliArgs {
+ public:
+  /// Parses argv. Free-standing (non --key) tokens become positional
+  /// arguments. A bare `--flag` followed by another option (or nothing) is
+  /// a boolean flag with value "true". Unknown options are kept (callers
+  /// can reject via `unknown_options`).
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  /// Numeric getters return the fallback on missing OR unparseable values
+  /// (an unparseable value also records the key in `errors()`).
+  double get_double(const std::string& key, double fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  /// "1", "true", "yes", "on" (case-insensitive) => true.
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  const std::vector<std::string>& errors() const noexcept { return errors_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> errors_;
+};
+
+/// Renders a two-column option/usage table for --help output.
+std::string render_usage(
+    const std::string& program,
+    const std::vector<std::pair<std::string, std::string>>& options);
+
+}  // namespace qlec

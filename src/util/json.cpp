@@ -1,0 +1,107 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qlec {
+
+void JsonWriter::comma_if_needed() {
+  if (needs_comma_.empty()) return;
+  if (needs_comma_.back()) out_.push_back(',');
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  if (!needs_comma_.empty()) needs_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  if (!needs_comma_.empty()) needs_comma_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  comma_if_needed();
+  out_ += '"' + escape(name) + "\":";
+  // The upcoming value must not emit a comma.
+  if (!needs_comma_.empty()) needs_comma_.back() = false;
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma_if_needed();
+  out_ += '"' + escape(v) + '"';
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma_if_needed();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(long long v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(unsigned long long v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace qlec

@@ -1,0 +1,50 @@
+// Minimal JSON *writer* (no parser): enough to export result records for
+// downstream tooling without external dependencies. Produces compact,
+// valid JSON with correct string escaping and round-trippable doubles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qlec {
+
+/// Streaming JSON builder with explicit structure calls. Usage:
+///   JsonWriter j;
+///   j.begin_object();
+///   j.key("pdr"); j.value(0.98);
+///   j.key("tags"); j.begin_array(); j.value("a"); j.end_array();
+///   j.end_object();
+///   std::string out = j.str();
+/// Misuse (e.g. value without key inside an object) is the caller's
+/// responsibility; the writer only manages commas and escaping.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Writes `"name":` inside an object (with any needed comma).
+  void key(const std::string& name);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(long long v);
+  void value(unsigned long long v);
+  void value(int v) { value(static_cast<long long>(v)); }
+  void value(std::size_t v) { value(static_cast<unsigned long long>(v)); }
+  void value(bool v);
+  void null();
+
+  const std::string& str() const noexcept { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes, backslash, control chars).
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // one per open container
+};
+
+}  // namespace qlec

@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace qlec::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level level() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+bool enabled(Level l) {
+  return static_cast<int>(l) >= g_level.load(std::memory_order_relaxed);
+}
+
+void emit(Level l, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(l), message.c_str());
+}
+
+}  // namespace qlec::log

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace qlec {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+          c == ' ' ||
+          static_cast<unsigned char>(c) >= 0x80 /* unicode ± bytes */)) {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s.front())) ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row, bool header) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      const std::size_t pad = widths[c] - cell.size();
+      const bool right = !header && looks_numeric(cell);
+      if (c) out << "  ";
+      if (right) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+  emit(headers_, true);
+  std::size_t line = 0;
+  for (const std::size_t w : widths) line += w;
+  line += headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+  out << std::string(line, '-') << '\n';
+  for (const auto& row : rows_) emit(row, false);
+  return out.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_sci(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string fmt_pm(double mean, double halfwidth, int precision) {
+  return fmt_double(mean, precision) + " +/- " +
+         fmt_double(halfwidth, precision);
+}
+
+}  // namespace qlec

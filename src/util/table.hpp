@@ -1,0 +1,34 @@
+// ASCII table rendering for benchmark output. Every figure/table bench
+// prints its series through this so rows are easy to eyeball and grep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qlec {
+
+/// Column-aligned text table with a header row. Numeric cells should be
+/// pre-formatted by the caller (see fmt_double helpers below).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a header underline and two-space column gaps. Right-aligns
+  /// cells that look numeric, left-aligns the rest.
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers.
+std::string fmt_double(double v, int precision = 3);
+std::string fmt_sci(double v, int precision = 3);
+/// "mean ± halfwidth" presentation for aggregated metrics.
+std::string fmt_pm(double mean, double halfwidth, int precision = 3);
+
+}  // namespace qlec

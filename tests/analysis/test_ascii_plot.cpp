@@ -1,0 +1,70 @@
+#include "analysis/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(RenderChart, EmptyDataHandled) {
+  EXPECT_EQ(render_chart({}), "(no data)\n");
+  EXPECT_EQ(render_chart({Series{"empty", {}, {}}}), "(no data)\n");
+}
+
+TEST(RenderChart, ContainsTitleAndLegend) {
+  ChartOptions opt;
+  opt.title = "My Chart";
+  opt.x_label = "lambda";
+  opt.y_label = "pdr";
+  const std::string out =
+      render_chart({Series{"qlec", {1, 2, 3}, {0.9, 0.8, 0.7}}}, opt);
+  EXPECT_NE(out.find("My Chart"), std::string::npos);
+  EXPECT_NE(out.find("qlec"), std::string::npos);
+  EXPECT_NE(out.find("lambda"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(RenderChart, PlotsMarkersForEachSeries) {
+  const std::string out = render_chart(
+      {Series{"a", {0, 1}, {0, 1}}, Series{"b", {0, 1}, {1, 0}}});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+TEST(RenderChart, SinglePointDoesNotDivideByZero) {
+  const std::string out = render_chart({Series{"p", {5.0}, {3.0}}});
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(RenderChart, ForcedYRangeClipsOutliers) {
+  ChartOptions opt;
+  opt.y_min = 0.0;
+  opt.y_max = 1.0;
+  const std::string out = render_chart(
+      {Series{"s", {0, 1, 2}, {0.5, 100.0, 0.7}}}, opt);
+  // Renders without crashing; the outlier is simply outside the plot area.
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(RenderChart, AxisLabelsShowRange) {
+  const std::string out =
+      render_chart({Series{"s", {2.0, 16.0}, {10.0, 20.0}}});
+  EXPECT_NE(out.find("16"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos);
+}
+
+TEST(RenderChart, HigherYValuesRenderedHigher) {
+  // One series with a clear upward trend: the first data row (top of the
+  // chart) should contain the marker for the max, found left-to-right
+  // later than the min's marker would be.
+  const std::string out =
+      render_chart({Series{"s", {0, 10}, {0.0, 1.0}}});
+  const std::size_t first_line_end = out.find('\n');
+  const std::string first_line = out.substr(0, first_line_end);
+  // Top row holds the y-max point, which is the right-most x.
+  const std::size_t star = first_line.rfind('*');
+  ASSERT_NE(star, std::string::npos);
+  EXPECT_GT(star, first_line.size() / 2);
+}
+
+}  // namespace
+}  // namespace qlec

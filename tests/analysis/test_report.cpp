@@ -1,0 +1,69 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+
+namespace qlec {
+namespace {
+
+std::vector<SweepSeries> sample_series() {
+  return {
+      SweepSeries{"qlec", {2, 4, 8}, {0.99, 0.95, 0.9}, {0.01, 0.01, 0.02}},
+      SweepSeries{"fcm", {2, 4, 8}, {0.9, 0.85, 0.8}, {0.02, 0.02, 0.03}},
+  };
+}
+
+TEST(RenderSweepTable, ContainsAllRows) {
+  const std::string out =
+      render_sweep_table("lambda", "pdr", sample_series());
+  EXPECT_NE(out.find("lambda"), std::string::npos);
+  EXPECT_NE(out.find("qlec"), std::string::npos);
+  EXPECT_NE(out.find("fcm"), std::string::npos);
+  EXPECT_NE(out.find("0.990"), std::string::npos);
+  EXPECT_NE(out.find("+/-"), std::string::npos);
+}
+
+TEST(RenderSweepTable, RowMajorByX) {
+  const std::string out =
+      render_sweep_table("x", "m", sample_series());
+  // At a given x, qlec row precedes fcm row; the first x=4.00 appearance
+  // comes after both x=2.00 rows.
+  const std::size_t first_qlec = out.find("qlec");
+  const std::size_t first_fcm = out.find("fcm");
+  EXPECT_LT(first_qlec, first_fcm);
+}
+
+TEST(SweepToCsv, ParsesBack) {
+  const std::string csv = sweep_to_csv(sample_series());
+  const auto rows = parse_csv(csv);
+  ASSERT_EQ(rows.size(), 7u);  // header + 6 data rows
+  EXPECT_EQ(rows[0], (CsvRow{"x", "protocol", "mean", "ci95"}));
+  EXPECT_EQ(rows[1][1], "qlec");
+  EXPECT_NEAR(std::stod(rows[1][2]), 0.99, 1e-6);
+}
+
+TEST(RenderSweepChart, ProducesChartWithLegend) {
+  const std::string out =
+      render_sweep_chart("Fig 3(a)", "lambda", "pdr", sample_series());
+  EXPECT_NE(out.find("Fig 3(a)"), std::string::npos);
+  EXPECT_NE(out.find("qlec"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+}
+
+TEST(MetricPoint, ExtractsMeanAndCi) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const MetricPoint p = metric_point(s);
+  EXPECT_DOUBLE_EQ(p.mean, 2.0);
+  EXPECT_GT(p.ci95, 0.0);
+}
+
+TEST(RenderSweepTable, EmptySeries) {
+  const std::string out = render_sweep_table("x", "m", {});
+  EXPECT_NE(out.find("x"), std::string::npos);  // header only
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,103 @@
+#include "analysis/spatial_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+namespace {
+
+TEST(MoransI, DegenerateInputs) {
+  EXPECT_EQ(morans_i({}, {}, 10.0), 0.0);
+  EXPECT_EQ(morans_i({{0, 0, 0}}, {1.0}, 10.0), 0.0);
+  // Size mismatch.
+  EXPECT_EQ(morans_i({{0, 0, 0}, {1, 0, 0}}, {1.0}, 10.0), 0.0);
+  // Zero variance.
+  EXPECT_EQ(morans_i({{0, 0, 0}, {1, 0, 0}}, {2.0, 2.0}, 10.0), 0.0);
+  // No neighbour pairs within radius.
+  EXPECT_EQ(morans_i({{0, 0, 0}, {100, 0, 0}}, {1.0, 2.0}, 10.0), 0.0);
+  EXPECT_EQ(morans_i({{0, 0, 0}, {1, 0, 0}}, {1.0, 2.0}, 0.0), 0.0);
+}
+
+TEST(MoransI, PerfectClusteringIsPositive) {
+  // Two spatial blobs, each with homogeneous values far from the other's.
+  std::vector<Vec3> pts;
+  std::vector<double> vals;
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(0, 10), rng.uniform(0, 10), 0});
+    vals.push_back(10.0 + rng.uniform(-0.1, 0.1));
+  }
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({rng.uniform(90, 100), rng.uniform(90, 100), 0});
+    vals.push_back(-10.0 + rng.uniform(-0.1, 0.1));
+  }
+  EXPECT_GT(morans_i(pts, vals, 15.0), 0.8);
+}
+
+TEST(MoransI, CheckerboardIsNegative) {
+  // Alternating values on a line with radius covering one step only.
+  std::vector<Vec3> pts;
+  std::vector<double> vals;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({static_cast<double>(i), 0, 0});
+    vals.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  EXPECT_LT(morans_i(pts, vals, 1.0), -0.8);
+}
+
+TEST(MoransI, RandomLabelsNearZero) {
+  Rng rng(2);
+  const auto pts = sample_uniform(400, Aabb::cube(100.0), rng);
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < 400; ++i) vals.push_back(rng.uniform01());
+  const double i_stat = morans_i(pts, vals, 20.0);
+  EXPECT_NEAR(i_stat, 0.0, 0.05);
+}
+
+TEST(MoransI, ScaleAndShiftInvariant) {
+  Rng rng(3);
+  const auto pts = sample_uniform(50, Aabb::cube(50.0), rng);
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < 50; ++i) vals.push_back(rng.uniform(0, 5));
+  std::vector<double> transformed;
+  for (const double v : vals) transformed.push_back(3.0 * v + 17.0);
+  EXPECT_NEAR(morans_i(pts, vals, 15.0),
+              morans_i(pts, transformed, 15.0), 1e-9);
+}
+
+TEST(MoransIPvalue, ClusteredPatternIsSignificant) {
+  std::vector<Vec3> pts;
+  std::vector<double> vals;
+  Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(0, 10), 0, 0});
+    vals.push_back(5.0 + rng.uniform(-0.1, 0.1));
+  }
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(50, 60), 0, 0});
+    vals.push_back(-5.0 + rng.uniform(-0.1, 0.1));
+  }
+  EXPECT_LT(morans_i_pvalue(pts, vals, 12.0, 99, 7), 0.05);
+}
+
+TEST(MoransIPvalue, RandomPatternIsNot) {
+  Rng rng(5);
+  const auto pts = sample_uniform(120, Aabb::cube(100.0), rng);
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < 120; ++i) vals.push_back(rng.uniform01());
+  EXPECT_GT(morans_i_pvalue(pts, vals, 25.0, 99, 8), 0.05);
+}
+
+TEST(MoransIPvalue, DeterministicForSeed) {
+  Rng rng(6);
+  const auto pts = sample_uniform(40, Aabb::cube(40.0), rng);
+  std::vector<double> vals;
+  for (std::size_t i = 0; i < 40; ++i) vals.push_back(rng.uniform01());
+  EXPECT_DOUBLE_EQ(morans_i_pvalue(pts, vals, 15.0, 49, 11),
+                   morans_i_pvalue(pts, vals, 15.0, 49, 11));
+}
+
+}  // namespace
+}  // namespace qlec

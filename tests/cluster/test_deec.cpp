@@ -1,0 +1,127 @@
+#include "cluster/deec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/sampling.hpp"
+
+namespace qlec {
+namespace {
+
+Network uniform_net(std::size_t n, double energy, Rng& rng) {
+  const Aabb box = Aabb::cube(100.0);
+  return Network(sample_uniform(n, box, rng), energy, box.center(), box);
+}
+
+TEST(DeecAvgEnergy, Eq2LinearDecay) {
+  // Ebar(r) = (1/N) * E_init_total * (1 - r/R).
+  EXPECT_DOUBLE_EQ(deec_avg_energy_estimate(500.0, 100, 0, 20), 5.0);
+  EXPECT_DOUBLE_EQ(deec_avg_energy_estimate(500.0, 100, 10, 20), 2.5);
+  EXPECT_DOUBLE_EQ(deec_avg_energy_estimate(500.0, 100, 20, 20), 0.0);
+}
+
+TEST(DeecAvgEnergy, ClampsPastEndOfLife) {
+  EXPECT_DOUBLE_EQ(deec_avg_energy_estimate(500.0, 100, 30, 20), 0.0);
+}
+
+TEST(DeecAvgEnergy, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(deec_avg_energy_estimate(500.0, 0, 0, 20), 0.0);
+  EXPECT_DOUBLE_EQ(deec_avg_energy_estimate(500.0, 100, 0, 0), 0.0);
+}
+
+TEST(DeecProbability, Eq1Proportionality) {
+  // p_i = p_opt * E_i / Ebar.
+  EXPECT_DOUBLE_EQ(deec_probability(0.05, 5.0, 5.0), 0.05);
+  EXPECT_DOUBLE_EQ(deec_probability(0.05, 10.0, 5.0), 0.10);
+  EXPECT_DOUBLE_EQ(deec_probability(0.05, 2.5, 5.0), 0.025);
+}
+
+TEST(DeecProbability, ClampedToUnitInterval) {
+  EXPECT_DOUBLE_EQ(deec_probability(0.5, 100.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(deec_probability(0.05, 0.0, 5.0), 0.0);
+}
+
+TEST(DeecProbability, ZeroAverageFallsBackToPopt) {
+  EXPECT_DOUBLE_EQ(deec_probability(0.05, 3.0, 0.0), 0.05);
+}
+
+TEST(DeecThreshold, MatchesLeachFormWithScaledP) {
+  EXPECT_DOUBLE_EQ(deec_threshold(0.1, 0), 0.1);
+  EXPECT_NEAR(deec_threshold(0.1, 9), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(deec_threshold(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(deec_threshold(1.5, 3), 1.0);
+}
+
+TEST(DeecEligible, RotatingEpochFromPi) {
+  EXPECT_TRUE(deec_eligible(kNeverHead, 0, 0.1));
+  EXPECT_FALSE(deec_eligible(5, 10, 0.1));  // epoch 10, only 5 rounds
+  EXPECT_TRUE(deec_eligible(5, 15, 0.1));
+}
+
+TEST(DeecElect, HigherEnergyNodesElectedMoreOften) {
+  Rng rng(1);
+  Network net = uniform_net(100, 5.0, rng);
+  // Drain half the nodes to 20%.
+  for (int i = 0; i < 50; ++i) net.node(i).battery.consume(4.0);
+  DeecParams params;
+  params.p_opt = 0.1;
+  params.total_rounds = 200;
+  params.use_estimated_average = false;  // use the true average
+  int rich_heads = 0, poor_heads = 0;
+  for (int r = 0; r < 100; ++r) {
+    for (const int h : deec_elect(net, params, r, rng, 0.0))
+      (h < 50 ? poor_heads : rich_heads) += 1;
+  }
+  EXPECT_GT(rich_heads, 2 * poor_heads);
+}
+
+TEST(DeecElect, NeverEmptyWhileAlive) {
+  Rng rng(2);
+  Network net = uniform_net(30, 5.0, rng);
+  DeecParams params;
+  params.p_opt = 0.03;
+  params.total_rounds = 50;
+  for (int r = 0; r < 50; ++r)
+    EXPECT_FALSE(deec_elect(net, params, r, rng, 0.0).empty());
+}
+
+TEST(DeecElect, RespectsDeathLine) {
+  Rng rng(3);
+  Network net = uniform_net(20, 5.0, rng);
+  for (int i = 0; i < 10; ++i) net.node(i).battery.consume(4.5);  // 0.5 J left
+  DeecParams params;
+  params.p_opt = 0.3;
+  params.total_rounds = 100;
+  for (int r = 0; r < 20; ++r) {
+    for (const int h : deec_elect(net, params, r, rng, /*death_line=*/1.0))
+      EXPECT_GE(h, 10);
+  }
+}
+
+TEST(DeecElect, StampsLastHeadRound) {
+  Rng rng(4);
+  Network net = uniform_net(25, 5.0, rng);
+  DeecParams params;
+  params.p_opt = 0.2;
+  params.total_rounds = 30;
+  const auto heads = deec_elect(net, params, 7, rng, 0.0);
+  for (const int h : heads) EXPECT_EQ(net.node(h).last_head_round, 7);
+}
+
+TEST(DeecElect, EstimatedVsMeasuredAverageBothWork) {
+  Rng rng(5);
+  Network net_a = uniform_net(60, 5.0, rng);
+  Rng rng2(5);
+  Network net_b = uniform_net(60, 5.0, rng2);
+  DeecParams est;
+  est.p_opt = 0.1;
+  est.total_rounds = 40;
+  est.use_estimated_average = true;
+  DeecParams meas = est;
+  meas.use_estimated_average = false;
+  Rng ra(9), rb(9);
+  EXPECT_FALSE(deec_elect(net_a, est, 0, ra, 0.0).empty());
+  EXPECT_FALSE(deec_elect(net_b, meas, 0, rb, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace qlec

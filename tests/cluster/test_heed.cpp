@@ -1,0 +1,115 @@
+#include "cluster/heed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/sampling.hpp"
+
+namespace qlec {
+namespace {
+
+Network uniform_net(std::size_t n, Rng& rng, double energy = 5.0) {
+  const Aabb box = Aabb::cube(100.0);
+  return Network(sample_uniform(n, box, rng), energy, box.center(), box);
+}
+
+HeedConfig config(double range = 30.0) {
+  HeedConfig cfg;
+  cfg.cluster_range = range;
+  cfg.c_prob = 0.1;
+  return cfg;
+}
+
+TEST(Heed, CoverageGuarantee) {
+  Rng rng(1);
+  Network net = uniform_net(150, rng);
+  const HeedResult r = heed_elect(net, config(25.0), 0, rng, 0.0);
+  ASSERT_FALSE(r.heads.empty());
+  // Every alive node is within range of a TENTATIVE head; after the
+  // suppression pass a surviving head may be a bit farther, but never more
+  // than two ranges away (a removed head was itself within one range of
+  // its dominator).
+  for (const SensorNode& n : net.nodes()) {
+    double best = 1e18;
+    for (const int h : r.heads) best = std::min(best, net.dist(n.id, h));
+    EXPECT_LE(best, 2 * 25.0 + 1e-9) << "node " << n.id;
+  }
+}
+
+TEST(Heed, HeadsAreFlaggedAndStamped) {
+  Rng rng(2);
+  Network net = uniform_net(60, rng);
+  const HeedResult r = heed_elect(net, config(), 7, rng, 0.0);
+  EXPECT_EQ(net.head_ids(), r.heads);
+  for (const int h : r.heads)
+    EXPECT_EQ(net.node(h).last_head_round, 7);
+}
+
+TEST(Heed, NoTwoHeadsWithinRangeUnlessEnergyJustifies) {
+  Rng rng(3);
+  Network net = uniform_net(200, rng);
+  const HeedConfig cfg = config(30.0);
+  const HeedResult r = heed_elect(net, cfg, 0, rng, 0.0);
+  for (const int a : r.heads) {
+    for (const int b : r.heads) {
+      if (a == b) continue;
+      if (net.dist(a, b) <= cfg.cluster_range) {
+        // Survivor pairs within range can only happen when each dominated
+        // the other's remover — with equal energies, ties break on id, so
+        // this must not occur at all.
+        ADD_FAILURE() << "heads " << a << " and " << b << " overlap";
+      }
+    }
+  }
+}
+
+TEST(Heed, RicherNodesBecomeHeadsMoreOften) {
+  Rng rng(4);
+  Network net = uniform_net(100, rng);
+  for (int i = 0; i < 50; ++i) net.node(i).battery.consume(4.0);
+  int rich = 0, poor = 0;
+  for (int r = 0; r < 30; ++r) {
+    for (const int h : heed_elect(net, config(), r, rng, 0.0).heads)
+      (h < 50 ? poor : rich) += 1;
+  }
+  EXPECT_GT(rich, poor);
+}
+
+TEST(Heed, SmallerRangeMeansMoreHeads) {
+  Rng rng(5);
+  Network net_a = uniform_net(200, rng);
+  Rng rng2(5);
+  Network net_b = uniform_net(200, rng2);
+  Rng ra(9), rb(9);
+  const auto many = heed_elect(net_a, config(15.0), 0, ra, 0.0);
+  const auto few = heed_elect(net_b, config(60.0), 0, rb, 0.0);
+  EXPECT_GT(many.heads.size(), few.heads.size());
+}
+
+TEST(Heed, AllDeadElectsNobody) {
+  Rng rng(6);
+  Network net = uniform_net(10, rng);
+  for (auto& n : net.nodes()) n.battery.consume(5.0);
+  const HeedResult r = heed_elect(net, config(), 0, rng, 0.0);
+  EXPECT_TRUE(r.heads.empty());
+}
+
+TEST(Heed, SingleNodeBecomesHead) {
+  Rng rng(7);
+  Network net = uniform_net(1, rng);
+  const HeedResult r = heed_elect(net, config(), 0, rng, 0.0);
+  ASSERT_EQ(r.heads.size(), 1u);
+  EXPECT_EQ(r.heads[0], 0);
+}
+
+TEST(Heed, IterationsBounded) {
+  Rng rng(8);
+  Network net = uniform_net(150, rng);
+  HeedConfig cfg = config();
+  cfg.max_iterations = 5;
+  const HeedResult r = heed_elect(net, cfg, 0, rng, 0.0);
+  EXPECT_LE(r.iterations, 5);
+  EXPECT_FALSE(r.heads.empty());
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,113 @@
+#include "cluster/leach.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/sampling.hpp"
+
+namespace qlec {
+namespace {
+
+Network uniform_net(std::size_t n, double energy, Rng& rng) {
+  const Aabb box = Aabb::cube(100.0);
+  return Network(sample_uniform(n, box, rng), energy, box.center(), box);
+}
+
+TEST(LeachThreshold, BaseProbabilityAtRoundZero) {
+  EXPECT_DOUBLE_EQ(leach_threshold(0.1, 0), 0.1);
+}
+
+TEST(LeachThreshold, GrowsWithinEpoch) {
+  const double p = 0.1;  // epoch 10
+  double prev = 0.0;
+  for (int r = 0; r < 10; ++r) {
+    const double t = leach_threshold(p, r);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // Last round of the epoch: p / (1 - p*9) = 1.0.
+  EXPECT_NEAR(leach_threshold(p, 9), 1.0, 1e-9);
+}
+
+TEST(LeachThreshold, ResetsEachEpoch) {
+  EXPECT_DOUBLE_EQ(leach_threshold(0.1, 10), leach_threshold(0.1, 0));
+}
+
+TEST(LeachThreshold, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(leach_threshold(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(leach_threshold(-0.3, 5), 0.0);
+  EXPECT_DOUBLE_EQ(leach_threshold(1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(leach_threshold(1.7, 5), 1.0);
+}
+
+TEST(LeachEligible, RotationEpochBlocksRecentHeads) {
+  const double p = 0.2;  // epoch 5
+  EXPECT_TRUE(leach_eligible(kNeverHead, 0, p));
+  EXPECT_FALSE(leach_eligible(3, 4, p));  // was head 1 round ago
+  EXPECT_FALSE(leach_eligible(3, 7, p));  // 4 rounds ago, epoch is 5
+  EXPECT_TRUE(leach_eligible(3, 8, p));   // 5 rounds ago
+}
+
+TEST(LeachEligible, ZeroProbabilityNeverEligible) {
+  EXPECT_FALSE(leach_eligible(kNeverHead, 0, 0.0));
+}
+
+TEST(LeachElect, ElectsApproximatelyPN) {
+  Rng rng(1);
+  Network net = uniform_net(200, 5.0, rng);
+  double total = 0.0;
+  const int rounds = 40;
+  for (int r = 0; r < rounds; ++r)
+    total += static_cast<double>(
+        leach_elect(net, 0.1, r, rng, 0.0).size());
+  // Expect on average ~p*N = 20 heads/round; rotation makes it exact-ish
+  // over an epoch. Allow generous slack.
+  EXPECT_NEAR(total / rounds, 20.0, 8.0);
+}
+
+TEST(LeachElect, FlagsMatchReturnedIds) {
+  Rng rng(2);
+  Network net = uniform_net(50, 5.0, rng);
+  const auto heads = leach_elect(net, 0.2, 0, rng, 0.0);
+  EXPECT_EQ(net.head_ids(), heads);
+  for (const int h : heads) EXPECT_EQ(net.node(h).last_head_round, 0);
+}
+
+TEST(LeachElect, NeverEmptyWhileNodesAlive) {
+  Rng rng(3);
+  Network net = uniform_net(30, 5.0, rng);
+  for (int r = 0; r < 100; ++r)
+    EXPECT_FALSE(leach_elect(net, 0.05, r, rng, 0.0).empty()) << r;
+}
+
+TEST(LeachElect, DeadNodesNeverElected) {
+  Rng rng(4);
+  Network net = uniform_net(40, 5.0, rng);
+  for (int i = 0; i < 20; ++i) net.node(i).battery.consume(5.0);
+  for (int r = 0; r < 20; ++r) {
+    for (const int h : leach_elect(net, 0.2, r, rng, 0.0))
+      EXPECT_GE(h, 20);
+  }
+}
+
+TEST(LeachElect, AllDeadElectsNobody) {
+  Rng rng(5);
+  Network net = uniform_net(10, 1.0, rng);
+  for (auto& n : net.nodes()) n.battery.consume(1.0);
+  EXPECT_TRUE(leach_elect(net, 0.2, 0, rng, 0.0).empty());
+}
+
+TEST(LeachElect, RotationSpreadsHeadRole) {
+  Rng rng(6);
+  Network net = uniform_net(20, 5.0, rng);
+  std::vector<int> times_head(20, 0);
+  for (int r = 0; r < 60; ++r)
+    for (const int h : leach_elect(net, 0.25, r, rng, 0.0))
+      ++times_head[static_cast<std::size_t>(h)];
+  // With a 4-round epoch over 60 rounds, nearly everyone should serve.
+  int served = 0;
+  for (const int t : times_head) served += t > 0 ? 1 : 0;
+  EXPECT_GT(served, 16);
+}
+
+}  // namespace
+}  // namespace qlec

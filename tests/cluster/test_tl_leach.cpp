@@ -1,0 +1,97 @@
+#include "cluster/tl_leach.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/sampling.hpp"
+
+namespace qlec {
+namespace {
+
+Network uniform_net(std::size_t n, Rng& rng) {
+  const Aabb box = Aabb::cube(100.0);
+  return Network(sample_uniform(n, box, rng), 5.0, box.center(), box);
+}
+
+TEST(TlLeach, ElectsTwoLevels) {
+  Rng rng(1);
+  Network net = uniform_net(200, rng);
+  const TlLeachLevels levels =
+      tl_leach_elect(net, 0.05, 0.2, 0, rng, 0.0);
+  EXPECT_FALSE(levels.primaries.empty());
+  EXPECT_FALSE(levels.secondaries.empty());
+  // Levels are disjoint.
+  for (const int p : levels.primaries)
+    EXPECT_TRUE(std::find(levels.secondaries.begin(),
+                          levels.secondaries.end(),
+                          p) == levels.secondaries.end());
+}
+
+TEST(TlLeach, AllLevelHeadsAreFlagged) {
+  Rng rng(2);
+  Network net = uniform_net(100, rng);
+  const TlLeachLevels levels =
+      tl_leach_elect(net, 0.05, 0.15, 0, rng, 0.0);
+  for (const int p : levels.primaries) EXPECT_TRUE(net.node(p).is_head);
+  for (const int s : levels.secondaries) EXPECT_TRUE(net.node(s).is_head);
+  EXPECT_EQ(net.head_ids().size(),
+            levels.primaries.size() + levels.secondaries.size());
+}
+
+TEST(TlLeach, SecondariesOutnumberPrimariesOnAverage) {
+  Rng rng(3);
+  Network net = uniform_net(300, rng);
+  std::size_t primaries = 0, secondaries = 0;
+  for (int r = 0; r < 20; ++r) {
+    const TlLeachLevels levels =
+        tl_leach_elect(net, 0.03, 0.15, r, rng, 0.0);
+    primaries += levels.primaries.size();
+    secondaries += levels.secondaries.size();
+  }
+  EXPECT_GT(secondaries, primaries);
+}
+
+TEST(TlLeach, AlwaysHasAPrimaryWhileAlive) {
+  Rng rng(4);
+  Network net = uniform_net(20, rng);
+  for (int r = 0; r < 50; ++r) {
+    const TlLeachLevels levels =
+        tl_leach_elect(net, 0.01, 0.05, r, rng, 0.0);
+    EXPECT_FALSE(levels.primaries.empty()) << "round " << r;
+  }
+}
+
+TEST(TlLeach, DeadNodesExcluded) {
+  Rng rng(5);
+  Network net = uniform_net(50, rng);
+  for (int i = 0; i < 25; ++i) net.node(i).battery.consume(5.0);
+  for (int r = 0; r < 10; ++r) {
+    const TlLeachLevels levels =
+        tl_leach_elect(net, 0.1, 0.3, r, rng, 0.0);
+    for (const int p : levels.primaries) EXPECT_GE(p, 25);
+    for (const int s : levels.secondaries) EXPECT_GE(s, 25);
+  }
+}
+
+TEST(TlLeachPrimaryFor, PicksNearestLivePrimary) {
+  const std::vector<Vec3> pts{
+      {10, 0, 0}, {20, 0, 0}, {85, 0, 0}, {50, 0, 0}};
+  Network net(pts, 5.0, {0, 0, 0}, Aabb::cube(100.0));
+  TlLeachLevels levels;
+  levels.primaries = {1, 2};    // at x=20 (30 m away) and x=85 (35 m)
+  levels.secondaries = {3};     // at x=50
+  EXPECT_EQ(tl_leach_primary_for(net, levels, 3, 0.0), 1);
+  net.node(1).battery.consume(5.0);  // kill the near primary
+  EXPECT_EQ(tl_leach_primary_for(net, levels, 3, 0.0), 2);
+}
+
+TEST(TlLeachPrimaryFor, NoPrimariesFallsBackToBs) {
+  const std::vector<Vec3> pts{{10, 0, 0}};
+  Network net(pts, 5.0, {0, 0, 0}, Aabb::cube(100.0));
+  TlLeachLevels levels;
+  EXPECT_EQ(tl_leach_primary_for(net, levels, 0, 0.0), kBaseStationId);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,224 @@
+#include "core/improved_deec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/sampling.hpp"
+#include "geom/spatial_grid.hpp"
+
+namespace qlec {
+namespace {
+
+Network uniform_net(std::size_t n, double energy, Rng& rng,
+                    double m_side = 100.0) {
+  const Aabb box = Aabb::cube(m_side);
+  return Network(sample_uniform(n, box, rng), energy, box.center(), box);
+}
+
+ImprovedDeecConfig base_config() {
+  ImprovedDeecConfig cfg;
+  cfg.p_opt = 0.1;
+  cfg.total_rounds = 100;
+  cfg.coverage_radius = 20.0;
+  return cfg;
+}
+
+TEST(Eq4Threshold, FullAtRoundZero) {
+  EXPECT_DOUBLE_EQ(deec_energy_threshold(5.0, 0, 20), 5.0);
+}
+
+TEST(Eq4Threshold, QuadraticDecay) {
+  // 1 - (r/R)^2 at r = R/2 is 0.75.
+  EXPECT_DOUBLE_EQ(deec_energy_threshold(4.0, 10, 20), 3.0);
+}
+
+TEST(Eq4Threshold, ZeroAtEndOfLife) {
+  EXPECT_DOUBLE_EQ(deec_energy_threshold(5.0, 20, 20), 0.0);
+  EXPECT_DOUBLE_EQ(deec_energy_threshold(5.0, 30, 20), 0.0);  // clamped
+}
+
+TEST(Eq4Threshold, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(deec_energy_threshold(5.0, 5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(deec_energy_threshold(-1.0, 0, 20), 0.0);
+}
+
+TEST(ImprovedDeec, ElectsSomeHeads) {
+  Rng rng(1);
+  Network net = uniform_net(100, 5.0, rng);
+  ElectionStats stats;
+  const auto heads =
+      improved_deec_elect(net, base_config(), 0, rng, 0.0, &stats);
+  EXPECT_FALSE(heads.empty());
+  EXPECT_EQ(stats.final_heads, static_cast<int>(heads.size()));
+  EXPECT_EQ(net.head_ids(), heads);
+}
+
+TEST(ImprovedDeec, EnergyThresholdExcludesDrainedNodes) {
+  Rng rng(2);
+  Network net = uniform_net(60, 5.0, rng);
+  // Drain half below the round-0 threshold (which is the full initial
+  // energy at r=0... so use a later round where threshold = 0.75*5 = 3.75).
+  for (int i = 0; i < 30; ++i) net.node(i).battery.consume(2.0);  // 3 J left
+  ImprovedDeecConfig cfg = base_config();
+  cfg.total_rounds = 20;
+  const int round = 10;  // threshold = 0.75 * 5 = 3.75 J
+  for (int trial = 0; trial < 30; ++trial) {
+    ElectionStats stats;
+    const auto heads =
+        improved_deec_elect(net, cfg, round, rng, 0.0, &stats);
+    if (stats.used_fallback) continue;  // fallback may pick anyone
+    for (const int h : heads) EXPECT_GE(h, 30) << "drained node elected";
+  }
+}
+
+TEST(ImprovedDeec, ThresholdDisabledAllowsDrainedNodes) {
+  Rng rng(3);
+  Network net = uniform_net(60, 5.0, rng);
+  for (int i = 0; i < 59; ++i) net.node(i).battery.consume(2.0);
+  ImprovedDeecConfig cfg = base_config();
+  cfg.total_rounds = 20;
+  cfg.use_energy_threshold = false;
+  cfg.p_opt = 0.5;
+  bool drained_elected = false;
+  for (int trial = 0; trial < 50 && !drained_elected; ++trial) {
+    for (const int h : improved_deec_elect(net, cfg, 10, rng, 0.0))
+      drained_elected |= h < 59;
+    for (auto& n : net.nodes()) n.last_head_round = kNeverHead;  // re-arm
+  }
+  EXPECT_TRUE(drained_elected);
+}
+
+TEST(ImprovedDeec, RedundancyPruningEnforcesSpacingOrEnergyDominance) {
+  Rng rng(4);
+  Network net = uniform_net(200, 5.0, rng);
+  ImprovedDeecConfig cfg = base_config();
+  cfg.p_opt = 0.4;  // force many provisional heads
+  cfg.coverage_radius = 30.0;
+  const auto heads = improved_deec_elect(net, cfg, 0, rng, 0.0);
+  // After Algorithm 3, no two surviving heads within d_c may both exist
+  // unless... in fact no head should have a strictly richer head within
+  // d_c. With equal energies, ties break by id: the lower id survives.
+  for (const int a : heads) {
+    for (const int b : heads) {
+      if (a == b) continue;
+      if (net.dist(a, b) <= cfg.coverage_radius) {
+        const double ea = net.node(a).battery.residual();
+        const double eb = net.node(b).battery.residual();
+        EXPECT_FALSE(eb > ea) << "head " << a
+                              << " should have quit hearing " << b;
+      }
+    }
+  }
+}
+
+TEST(ImprovedDeec, PruningKeepsRicherHead) {
+  Rng rng(5);
+  // Two nodes close together, very different energy; high p_opt so both
+  // get provisionally elected.
+  const std::vector<Vec3> pts{{50, 50, 50}, {52, 50, 50}, {10, 10, 10}};
+  Network net(pts, std::vector<double>{5.0, 1.0, 5.0}, {50, 50, 100},
+              Aabb::cube(100.0));
+  ImprovedDeecConfig cfg;
+  cfg.p_opt = 1.0;  // everyone wins the draw
+  cfg.total_rounds = 100;
+  cfg.coverage_radius = 10.0;
+  cfg.use_energy_threshold = false;
+  const auto heads = improved_deec_elect(net, cfg, 0, rng, 0.0);
+  // Node 1 (1 J) must have quit in favor of node 0 (5 J).
+  EXPECT_TRUE(net.node(0).is_head);
+  EXPECT_FALSE(net.node(1).is_head);
+  EXPECT_TRUE(net.node(2).is_head);  // far away, unaffected
+}
+
+TEST(ImprovedDeec, PruningDisabledKeepsBoth) {
+  Rng rng(6);
+  // Equal energies so Eq. 1 gives p_i = 1 for both and each node certainly
+  // wins the z-draw; only Algorithm 3 could remove one.
+  const std::vector<Vec3> pts{{50, 50, 50}, {52, 50, 50}};
+  Network net(pts, std::vector<double>{5.0, 5.0}, {50, 50, 100},
+              Aabb::cube(100.0));
+  ImprovedDeecConfig cfg;
+  cfg.p_opt = 1.0;
+  cfg.total_rounds = 100;
+  cfg.coverage_radius = 10.0;
+  cfg.reduce_redundancy = false;
+  cfg.use_energy_threshold = false;
+  const auto heads = improved_deec_elect(net, cfg, 0, rng, 0.0);
+  EXPECT_EQ(heads.size(), 2u);
+}
+
+TEST(ImprovedDeec, FallbackDraftsMaxEnergyNode) {
+  Rng rng(7);
+  Network net = uniform_net(10, 5.0, rng);
+  net.node(3).battery.recharge(0.0);  // noop; node 3 stays at 5 J
+  for (int i = 0; i < 10; ++i)
+    if (i != 3) net.node(i).battery.consume(1.0);
+  ImprovedDeecConfig cfg = base_config();
+  cfg.p_opt = 1e-12;     // nobody wins the draw
+  cfg.top_up_to_k = false;  // exercise the last-resort fallback path
+  ElectionStats stats;
+  const auto heads = improved_deec_elect(net, cfg, 0, rng, 0.0, &stats);
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(heads[0], 3);
+  EXPECT_TRUE(stats.used_fallback);
+}
+
+TEST(ImprovedDeec, AllDeadElectsNobody) {
+  Rng rng(8);
+  Network net = uniform_net(5, 1.0, rng);
+  for (auto& n : net.nodes()) n.battery.consume(1.0);
+  const auto heads = improved_deec_elect(net, base_config(), 0, rng, 0.0);
+  EXPECT_TRUE(heads.empty());
+}
+
+TEST(ImprovedDeec, RotatingEpochPreventsImmediateReelection) {
+  Rng rng(9);
+  Network net = uniform_net(30, 5.0, rng);
+  ImprovedDeecConfig cfg = base_config();
+  cfg.p_opt = 0.2;
+  const auto heads0 = improved_deec_elect(net, cfg, 0, rng, 0.0);
+  ElectionStats stats;
+  const auto heads1 = improved_deec_elect(net, cfg, 1, rng, 0.0, &stats);
+  if (!stats.used_fallback) {
+    for (const int h : heads1) {
+      for (const int h0 : heads0) EXPECT_NE(h, h0);
+    }
+  }
+}
+
+TEST(ImprovedDeec, StatsAreConsistent) {
+  Rng rng(10);
+  Network net = uniform_net(150, 5.0, rng);
+  ImprovedDeecConfig cfg = base_config();
+  cfg.p_opt = 0.3;
+  ElectionStats stats;
+  improved_deec_elect(net, cfg, 0, rng, 0.0, &stats);
+  EXPECT_EQ(stats.alive, 150);
+  EXPECT_LE(stats.eligible, stats.alive);
+  EXPECT_LE(stats.elected, stats.eligible);
+  if (stats.used_fallback) {
+    EXPECT_EQ(stats.final_heads, 1);
+    EXPECT_EQ(stats.elected - stats.pruned + stats.drafted, 0);
+  } else {
+    EXPECT_EQ(stats.final_heads,
+              stats.elected - stats.pruned + stats.drafted);
+  }
+  EXPECT_GT(stats.eligible, 0);  // fresh 5 J nodes qualify at round 0
+}
+
+TEST(ImprovedDeec, AverageHeadCountTracksPopt) {
+  Rng rng(11);
+  Network net = uniform_net(200, 5.0, rng);
+  ImprovedDeecConfig cfg = base_config();
+  cfg.p_opt = 0.05;
+  cfg.total_rounds = 10000;  // keep Eq. 2 average ~constant
+  cfg.reduce_redundancy = false;
+  double total = 0.0;
+  const int rounds = 50;
+  for (int r = 0; r < rounds; ++r)
+    total += static_cast<double>(
+        improved_deec_elect(net, cfg, r, rng, 0.0).size());
+  EXPECT_NEAR(total / rounds, 10.0, 4.0);  // p_opt * N = 10
+}
+
+}  // namespace
+}  // namespace qlec

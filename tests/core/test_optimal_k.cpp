@@ -1,0 +1,152 @@
+#include "core/optimal_k.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace qlec {
+namespace {
+
+TEST(Lemma1, ExpectedD2ToChClosedForm) {
+  const double m = 200.0, k = 5.0;
+  constexpr double four_pi = 4.0 * std::numbers::pi;
+  const double expect = (four_pi / 5.0) *
+                        std::pow(3.0 / four_pi, 5.0 / 3.0) * m * m /
+                        std::pow(k, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(expected_d2_to_ch(m, k), expect);
+}
+
+TEST(Lemma1, MatchesDirectBallIntegral) {
+  // E{d^2} over a uniform ball of radius d_c is (3/5) d_c^2, and d_c comes
+  // from Eq. 5; the closed form must agree.
+  const double m = 150.0, k = 7.0;
+  const double dc = cluster_radius(m, k);
+  EXPECT_NEAR(expected_d2_to_ch(m, k), 0.6 * dc * dc, 1e-9);
+}
+
+TEST(Lemma1, ShrinksWithMoreClusters) {
+  const double m = 200.0;
+  EXPECT_GT(expected_d2_to_ch(m, 2), expected_d2_to_ch(m, 10));
+}
+
+TEST(Lemma1, DegenerateK) {
+  EXPECT_DOUBLE_EQ(expected_d2_to_ch(200.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(expected_d2_to_ch(200.0, -3.0), 0.0);
+}
+
+TEST(Eq5, ClusterRadiusBallVolume) {
+  // k balls of radius d_c should tile the cube's volume: k*(4/3)pi d_c^3 =
+  // M^3.
+  const double m = 200.0, k = 5.0;
+  const double dc = cluster_radius(m, k);
+  EXPECT_NEAR(k * (4.0 / 3.0) * std::numbers::pi * dc * dc * dc, m * m * m,
+              1e-6);
+}
+
+TEST(Eq5, RadiusShrinksWithK) {
+  EXPECT_GT(cluster_radius(100.0, 2), cluster_radius(100.0, 16));
+}
+
+TEST(Theorem1, ClosedFormValue) {
+  // Direct evaluation of the printed formula.
+  const RadioParams radio;
+  const std::size_t n = 100;
+  const double m = 200.0, d = 135.0;
+  constexpr double pi = std::numbers::pi;
+  const double inner =
+      8.0 * pi * 100.0 * radio.eps_fs / (15.0 * radio.eps_mp);
+  const double expect = (3.0 / (4.0 * pi)) * std::pow(inner, 0.6) *
+                        std::pow(m, 1.2) / std::pow(d, 2.4);
+  EXPECT_NEAR(optimal_cluster_count(n, m, d, radio), expect, 1e-9);
+}
+
+TEST(Theorem1, PaperSettingGivesAboutFive) {
+  // §5.1: N = 100, M = 200 => k_opt ≈ 5. This holds for a surface sink
+  // (mean node distance ≈ 0.66 M ≈ 133; see DESIGN.md §6).
+  const double k = optimal_cluster_count(100, 200.0, 133.0);
+  EXPECT_NEAR(k, 5.0, 0.6);
+  EXPECT_EQ(optimal_cluster_count_rounded(100, 200.0, 133.0), 5u);
+}
+
+TEST(Theorem1, MatchesBruteForceMinimizer) {
+  const RadioParams radio;
+  for (const double d : {100.0, 135.0, 180.0, 250.0}) {
+    const double k_closed = optimal_cluster_count(100, 200.0, d, radio);
+    const std::size_t k_brute =
+        brute_force_optimal_k(4000.0, 100, 200.0, d, 64, radio);
+    // The integer minimizer should be the rounded closed form (+-1 for
+    // near-half cases).
+    EXPECT_NEAR(static_cast<double>(k_brute), k_closed, 1.0)
+        << "d_toBS=" << d;
+  }
+}
+
+TEST(Theorem1, MonotoneInN) {
+  EXPECT_GT(optimal_cluster_count(400, 200.0, 135.0),
+            optimal_cluster_count(100, 200.0, 135.0));
+}
+
+TEST(Theorem1, DecreasesWithBsDistance) {
+  EXPECT_GT(optimal_cluster_count(100, 200.0, 100.0),
+            optimal_cluster_count(100, 200.0, 200.0));
+}
+
+TEST(Theorem1, ScalesWithSideLength) {
+  // k_opt ∝ M^(6/5) at fixed d_toBS.
+  const double k1 = optimal_cluster_count(100, 100.0, 135.0);
+  const double k2 = optimal_cluster_count(100, 200.0, 135.0);
+  EXPECT_NEAR(k2 / k1, std::pow(2.0, 1.2), 1e-9);
+}
+
+TEST(Theorem1, DegenerateInputsGiveZeroOrOne) {
+  EXPECT_DOUBLE_EQ(optimal_cluster_count(0, 200.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(optimal_cluster_count(100, 0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(optimal_cluster_count(100, 200.0, 0.0), 0.0);
+  EXPECT_EQ(optimal_cluster_count_rounded(0, 200.0, 100.0), 1u);
+}
+
+TEST(Eq6, RoundEnergyConvexInK) {
+  // Energy as a function of k should decrease then increase around the
+  // optimum (unimodality is what makes Theorem 1 meaningful).
+  const double d = 135.0;
+  const double k_opt = optimal_cluster_count(100, 200.0, d);
+  const double e_opt = round_energy_for_k(4000.0, 100, k_opt, 200.0, d);
+  EXPECT_LT(e_opt, round_energy_for_k(4000.0, 100, k_opt / 3.0, 200.0, d));
+  EXPECT_LT(e_opt, round_energy_for_k(4000.0, 100, k_opt * 3.0, 200.0, d));
+}
+
+TEST(Eq6, DerivativeNearZeroAtOptimum) {
+  const double d = 135.0;
+  const double k_opt = optimal_cluster_count(100, 200.0, d);
+  const double h = 1e-4;
+  const double de =
+      (round_energy_for_k(4000.0, 100, k_opt + h, 200.0, d) -
+       round_energy_for_k(4000.0, 100, k_opt - h, 200.0, d)) /
+      (2 * h);
+  const double scale = round_energy_for_k(4000.0, 100, k_opt, 200.0, d);
+  EXPECT_NEAR(de / scale, 0.0, 1e-6);
+}
+
+// Property sweep: brute force agrees with the closed form across network
+// sizes and geometries.
+class Theorem1Property
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(Theorem1Property, BruteForceAgreesWithClosedForm) {
+  const auto [n, d_frac] = GetParam();
+  const double m = 200.0;
+  const double d = d_frac * m;
+  const double k_closed = optimal_cluster_count(n, m, d);
+  if (k_closed < 1.0 || k_closed > 120.0) GTEST_SKIP();
+  const std::size_t k_brute = brute_force_optimal_k(4000.0, n, m, d, 128);
+  EXPECT_NEAR(static_cast<double>(k_brute), k_closed, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Theorem1Property,
+    ::testing::Combine(::testing::Values<std::size_t>(50, 100, 200, 500),
+                       ::testing::Values(0.5, 0.66, 0.8, 1.0)));
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,133 @@
+#include "core/qlec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace qlec {
+namespace {
+
+Network paper_network(Rng& rng) {
+  ScenarioConfig cfg;  // N=100, M=200, 5 J, surface sink
+  return make_uniform_network(cfg, rng);
+}
+
+QlecParams test_params() {
+  QlecParams p;
+  p.total_rounds = 20;
+  return p;
+}
+
+TEST(QlecProtocol, ComputesKoptNearFive) {
+  Rng rng(1);
+  const Network net = paper_network(rng);
+  const QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  // §5.1: k_opt approximately 5 for the paper's setting.
+  EXPECT_GE(proto.k_opt(), 4u);
+  EXPECT_LE(proto.k_opt(), 7u);
+  EXPECT_GT(proto.coverage_radius(), 0.0);
+}
+
+TEST(QlecProtocol, ForceKOverridesTheorem1) {
+  Rng rng(2);
+  const Network net = paper_network(rng);
+  QlecParams p = test_params();
+  p.force_k = 12;
+  const QlecProtocol proto(net, p, RadioModel{}, 0.0);
+  EXPECT_EQ(proto.k_opt(), 12u);
+}
+
+TEST(QlecProtocol, RoundStartElectsHeadsAndChargesControl) {
+  Rng rng(3);
+  Network net = paper_network(rng);
+  QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  EXPECT_FALSE(net.head_ids().empty());
+  EXPECT_EQ(proto.current_heads(), net.head_ids());
+  EXPECT_GT(ledger.by_use(EnergyUse::kControl), 0.0);
+  EXPECT_LT(net.total_residual_energy(), net.total_initial_energy());
+}
+
+TEST(QlecProtocol, HeadCountTracksKopt) {
+  Rng rng(4);
+  Network net = paper_network(rng);
+  QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  EnergyLedger ledger;
+  double total = 0.0;
+  const int rounds = 15;
+  for (int r = 0; r < rounds; ++r) {
+    proto.on_round_start(net, r, rng, ledger);
+    total += static_cast<double>(net.head_ids().size());
+  }
+  const double avg = total / rounds;
+  EXPECT_GT(avg, 1.5);
+  EXPECT_LT(avg, 3.0 * static_cast<double>(proto.k_opt()));
+}
+
+TEST(QlecProtocol, RouteReturnsHeadOrBs) {
+  Rng rng(5);
+  Network net = paper_network(rng);
+  QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const auto heads = net.head_ids();
+  for (int src = 0; src < 20; ++src) {
+    if (net.node(src).is_head) continue;
+    const int t = proto.route(net, src, 4000.0, rng);
+    const bool valid =
+        t == kBaseStationId ||
+        std::find(heads.begin(), heads.end(), t) != heads.end();
+    EXPECT_TRUE(valid) << "target " << t;
+  }
+}
+
+TEST(QlecProtocol, LearningUpdatesAccumulate) {
+  Rng rng(6);
+  Network net = paper_network(rng);
+  QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  // Round start performs one model-based V backup per elected head.
+  EXPECT_EQ(proto.learning_updates(), net.head_ids().size());
+  proto.route(net, 0, 4000.0, rng);
+  EXPECT_GT(proto.learning_updates(), net.head_ids().size());
+  const std::size_t after_route = proto.learning_updates();
+  proto.on_uplink_result(net, net.head_ids().front(), true);
+  EXPECT_GT(proto.learning_updates(), after_route);
+}
+
+TEST(QlecProtocol, TxFeedbackReachesEstimator) {
+  Rng rng(7);
+  Network net = paper_network(rng);
+  QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const int head = net.head_ids().front();
+  proto.on_tx_result(net, 0, head, false);
+  proto.on_tx_result(net, 0, head, false);
+  EXPECT_EQ(proto.router().estimator().observations(0, head), 2u);
+  EXPECT_LT(proto.router().estimator().estimate(0, head), 1.0);
+}
+
+TEST(QlecProtocol, NameIsQlec) {
+  Rng rng(8);
+  const Network net = paper_network(rng);
+  const QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  EXPECT_EQ(proto.name(), "QLEC");
+}
+
+TEST(QlecProtocol, ElectionStatsExposed) {
+  Rng rng(9);
+  Network net = paper_network(rng);
+  QlecProtocol proto(net, test_params(), RadioModel{}, 0.0);
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const ElectionStats& stats = proto.last_election();
+  EXPECT_EQ(stats.alive, 100);
+  EXPECT_EQ(stats.final_heads,
+            static_cast<int>(net.head_ids().size()));
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,77 @@
+#include "energy/battery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(Battery, StartsFull) {
+  const Battery b(5.0);
+  EXPECT_DOUBLE_EQ(b.initial(), 5.0);
+  EXPECT_DOUBLE_EQ(b.residual(), 5.0);
+  EXPECT_DOUBLE_EQ(b.consumed(), 0.0);
+  EXPECT_DOUBLE_EQ(b.consumption_rate(), 0.0);
+}
+
+TEST(Battery, NegativeCapacityClampsToZero) {
+  const Battery b(-2.0);
+  EXPECT_DOUBLE_EQ(b.initial(), 0.0);
+  EXPECT_DOUBLE_EQ(b.residual(), 0.0);
+}
+
+TEST(Battery, ConsumeDrains) {
+  Battery b(5.0);
+  EXPECT_DOUBLE_EQ(b.consume(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(b.residual(), 3.5);
+  EXPECT_DOUBLE_EQ(b.consumed(), 1.5);
+  EXPECT_DOUBLE_EQ(b.consumption_rate(), 0.3);
+}
+
+TEST(Battery, ConsumeClampsAtEmpty) {
+  Battery b(1.0);
+  EXPECT_DOUBLE_EQ(b.consume(3.0), 1.0);  // only 1 J available
+  EXPECT_DOUBLE_EQ(b.residual(), 0.0);
+  EXPECT_DOUBLE_EQ(b.consume(1.0), 0.0);  // nothing left
+}
+
+TEST(Battery, NegativeConsumeIsNoop) {
+  Battery b(2.0);
+  EXPECT_DOUBLE_EQ(b.consume(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.residual(), 2.0);
+}
+
+TEST(Battery, AliveAgainstDeathLine) {
+  Battery b(5.0);
+  EXPECT_TRUE(b.alive(0.0));
+  EXPECT_TRUE(b.alive(4.9));
+  EXPECT_FALSE(b.alive(5.0));  // strict >
+  b.consume(5.0);
+  EXPECT_FALSE(b.alive(0.0));
+  EXPECT_TRUE(b.alive(-0.1));
+}
+
+TEST(Battery, RechargeCapsAtInitial) {
+  Battery b(5.0);
+  b.consume(3.0);
+  b.recharge(1.0);
+  EXPECT_DOUBLE_EQ(b.residual(), 3.0);
+  b.recharge(100.0);
+  EXPECT_DOUBLE_EQ(b.residual(), 5.0);
+  b.recharge(-2.0);  // ignored
+  EXPECT_DOUBLE_EQ(b.residual(), 5.0);
+}
+
+TEST(Battery, ZeroCapacityRateIsZero) {
+  const Battery b(0.0);
+  EXPECT_DOUBLE_EQ(b.consumption_rate(), 0.0);
+}
+
+TEST(Battery, ManySmallDrawsSumExactly) {
+  Battery b(1.0);
+  for (int i = 0; i < 1000; ++i) b.consume(1e-4);
+  EXPECT_NEAR(b.consumed(), 0.1, 1e-12);
+  EXPECT_NEAR(b.residual(), 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace qlec

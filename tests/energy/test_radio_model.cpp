@@ -1,0 +1,110 @@
+#include "energy/radio_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qlec {
+namespace {
+
+TEST(RadioParams, DefaultsMatchTable2) {
+  const RadioParams p;
+  EXPECT_DOUBLE_EQ(p.eps_fs, 10e-12);
+  EXPECT_DOUBLE_EQ(p.eps_mp, 0.0013e-12);
+  EXPECT_DOUBLE_EQ(p.e_elec, 50e-9);
+  EXPECT_DOUBLE_EQ(p.e_da, 5e-9);
+}
+
+TEST(RadioParams, CrossoverDistance) {
+  const RadioParams p;
+  // d0 = sqrt(10 / 0.0013) ~ 87.7 m.
+  EXPECT_NEAR(p.d0(), 87.7058, 1e-3);
+}
+
+TEST(RadioModel, FreeSpaceRegimeBelowD0) {
+  const RadioModel m;
+  const double bits = 1000.0;
+  const double d = 50.0;  // < d0
+  EXPECT_DOUBLE_EQ(m.amp_energy(bits, d),
+                   bits * m.params().eps_fs * d * d);
+  EXPECT_DOUBLE_EQ(m.tx_energy(bits, d),
+                   bits * m.params().e_elec + m.amp_energy(bits, d));
+}
+
+TEST(RadioModel, MultiPathRegimeAboveD0) {
+  const RadioModel m;
+  const double bits = 1000.0;
+  const double d = 200.0;  // > d0
+  EXPECT_DOUBLE_EQ(m.amp_energy(bits, d),
+                   bits * m.params().eps_mp * d * d * d * d);
+}
+
+TEST(RadioModel, ContinuousAtCrossover) {
+  const RadioModel m;
+  const double d0 = m.d0();
+  const double below = m.amp_energy(1000.0, d0 * (1 - 1e-9));
+  const double above = m.amp_energy(1000.0, d0);
+  // eps_fs d0^2 == eps_mp d0^4 by construction of d0.
+  EXPECT_NEAR(below, above, above * 1e-6);
+}
+
+TEST(RadioModel, NegativeDistanceClampsToZero) {
+  const RadioModel m;
+  EXPECT_DOUBLE_EQ(m.amp_energy(1000.0, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.tx_energy(1000.0, -5.0),
+                   1000.0 * m.params().e_elec);
+}
+
+TEST(RadioModel, RxAndAggregationScaleWithBits) {
+  const RadioModel m;
+  EXPECT_DOUBLE_EQ(m.rx_energy(4000.0), 4000.0 * 50e-9);
+  EXPECT_DOUBLE_EQ(m.aggregation_energy(4000.0), 4000.0 * 5e-9);
+  EXPECT_DOUBLE_EQ(m.rx_energy(0.0), 0.0);
+}
+
+TEST(RadioModel, TxMonotoneInDistance) {
+  const RadioModel m;
+  double prev = -1.0;
+  for (double d = 0.0; d <= 400.0; d += 10.0) {
+    const double e = m.tx_energy(2000.0, d);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(RadioModel, TxLinearInBits) {
+  const RadioModel m;
+  const double e1 = m.tx_energy(1000.0, 120.0);
+  const double e2 = m.tx_energy(2000.0, 120.0);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-18);
+}
+
+TEST(RadioModel, RoundEnergyEq6Structure) {
+  const RadioModel m;
+  const double bits = 4000.0;
+  // With k = 0 and d_to_ch = 0 only the electronics + aggregation remain.
+  const double base = m.round_energy(bits, 100, 0, 130.0, 0.0);
+  EXPECT_DOUBLE_EQ(base, bits * (2.0 * 100 * 50e-9 + 100 * 5e-9));
+  // Adding heads adds k * eps_mp * d^4 per bit.
+  const double with_heads = m.round_energy(bits, 100, 5, 130.0, 0.0);
+  EXPECT_NEAR(with_heads - base,
+              bits * 5 * 0.0013e-12 * std::pow(130.0, 4), 1e-12);
+  // Adding member distance adds N * eps_fs * d_to_ch^2 per bit.
+  const double with_members = m.round_energy(bits, 100, 5, 130.0, 40.0);
+  EXPECT_NEAR(with_members - with_heads, bits * 100 * 10e-12 * 1600.0,
+              1e-12);
+}
+
+TEST(RadioModel, CustomParamsRespected) {
+  RadioParams p;
+  p.e_elec = 1e-9;
+  p.eps_fs = 2e-12;
+  p.eps_mp = 2e-12;  // d0 = 1
+  const RadioModel m(p);
+  EXPECT_DOUBLE_EQ(m.d0(), 1.0);
+  EXPECT_DOUBLE_EQ(m.tx_energy(100.0, 0.5),
+                   100.0 * 1e-9 + 100.0 * 2e-12 * 0.25);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,47 @@
+#include "geom/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(Aabb, CubeConstruction) {
+  constexpr Aabb box = Aabb::cube(200.0);
+  EXPECT_EQ(box.lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(box.hi, (Vec3{200, 200, 200}));
+  EXPECT_DOUBLE_EQ(box.volume(), 8e6);
+  EXPECT_EQ(box.center(), (Vec3{100, 100, 100}));
+}
+
+TEST(Aabb, Contains) {
+  constexpr Aabb box = Aabb::cube(10.0);
+  EXPECT_TRUE(box.contains({5, 5, 5}));
+  EXPECT_TRUE(box.contains({0, 0, 0}));     // inclusive lower
+  EXPECT_TRUE(box.contains({10, 10, 10}));  // inclusive upper
+  EXPECT_FALSE(box.contains({-0.1, 5, 5}));
+  EXPECT_FALSE(box.contains({5, 10.1, 5}));
+  EXPECT_FALSE(box.contains({5, 5, 11}));
+}
+
+TEST(Aabb, Clamp) {
+  const Aabb box = Aabb::cube(10.0);
+  EXPECT_EQ(box.clamp({-5, 5, 20}), (Vec3{0, 5, 10}));
+  EXPECT_EQ(box.clamp({3, 3, 3}), (Vec3{3, 3, 3}));
+}
+
+TEST(Aabb, Expand) {
+  Aabb box{{0, 0, 0}, {1, 1, 1}};
+  box.expand({5, -2, 0.5});
+  EXPECT_EQ(box.lo, (Vec3{0, -2, 0}));
+  EXPECT_EQ(box.hi, (Vec3{5, 1, 1}));
+  EXPECT_TRUE(box.contains({5, -2, 0.5}));
+}
+
+TEST(Aabb, ExtentAndVolume) {
+  const Aabb box{{1, 2, 3}, {4, 6, 8}};
+  EXPECT_EQ(box.extent(), (Vec3{3, 4, 5}));
+  EXPECT_DOUBLE_EQ(box.volume(), 60.0);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,121 @@
+#include "geom/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/sampling.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+namespace {
+
+std::vector<std::size_t> brute_query(const std::vector<Vec3>& pts,
+                                     const Vec3& c, double r) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    if (distance(pts[i], c) <= r) out.push_back(i);
+  return out;
+}
+
+TEST(SpatialGrid, EmptyGrid) {
+  const SpatialGrid grid({}, 10.0);
+  EXPECT_EQ(grid.size(), 0u);
+  EXPECT_TRUE(grid.query({0, 0, 0}, 100.0).empty());
+  EXPECT_EQ(grid.nearest({0, 0, 0}), SpatialGrid::npos);
+}
+
+TEST(SpatialGrid, SinglePoint) {
+  const SpatialGrid grid({{5, 5, 5}}, 2.0);
+  EXPECT_EQ(grid.query({5, 5, 5}, 0.0).size(), 1u);
+  EXPECT_TRUE(grid.query({50, 50, 50}, 1.0).empty());
+  EXPECT_EQ(grid.nearest({100, 100, 100}), 0u);
+}
+
+TEST(SpatialGrid, RadiusIsInclusive) {
+  const SpatialGrid grid({{0, 0, 0}, {3, 0, 0}}, 1.0);
+  const auto hits = grid.query({0, 0, 0}, 3.0);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(SpatialGrid, NegativeRadiusEmpty) {
+  const SpatialGrid grid({{0, 0, 0}}, 1.0);
+  EXPECT_TRUE(grid.query({0, 0, 0}, -1.0).empty());
+}
+
+TEST(SpatialGrid, NeighboursExcludesSelf) {
+  const SpatialGrid grid({{0, 0, 0}, {1, 0, 0}, {10, 0, 0}}, 2.0);
+  const auto nbrs = grid.neighbours_of(0, 2.0);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], 1u);
+}
+
+TEST(SpatialGrid, NearestSkipsRequestedIndex) {
+  const SpatialGrid grid({{0, 0, 0}, {1, 0, 0}, {5, 0, 0}}, 1.0);
+  EXPECT_EQ(grid.nearest({0.1, 0, 0}), 0u);
+  EXPECT_EQ(grid.nearest({0.1, 0, 0}, /*skip=*/0), 1u);
+}
+
+TEST(SpatialGrid, HandlesNegativeCoordinates) {
+  const SpatialGrid grid({{-50, -50, -50}, {50, 50, 50}}, 10.0);
+  const auto hits = grid.query({-50, -50, -50}, 1.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+}
+
+TEST(SpatialGrid, DegenerateCellSizeClamped) {
+  const SpatialGrid grid({{1, 1, 1}}, 0.0);
+  EXPECT_GT(grid.cell_size(), 0.0);
+  EXPECT_EQ(grid.query({1, 1, 1}, 0.5).size(), 1u);
+}
+
+// Property: grid query == brute force, across radii and cell sizes.
+class SpatialGridProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SpatialGridProperty, QueryMatchesBruteForce) {
+  const auto [cell, radius] = GetParam();
+  Rng rng(77);
+  const auto pts = sample_uniform(300, Aabb::cube(100.0), rng);
+  const SpatialGrid grid(pts, cell);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3 c{rng.uniform(0, 100), rng.uniform(0, 100),
+                 rng.uniform(0, 100)};
+    auto got = grid.query(c, radius);
+    auto want = brute_query(pts, c, radius);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "cell=" << cell << " radius=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellRadiusSweep, SpatialGridProperty,
+    ::testing::Combine(::testing::Values(3.0, 10.0, 40.0, 150.0),
+                       ::testing::Values(0.5, 5.0, 25.0, 80.0)));
+
+TEST(SpatialGrid, NearestMatchesBruteForce) {
+  Rng rng(88);
+  const auto pts = sample_uniform(200, Aabb::cube(50.0), rng);
+  const SpatialGrid grid(pts, 7.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec3 c{rng.uniform(-10, 60), rng.uniform(-10, 60),
+                 rng.uniform(-10, 60)};
+    const std::size_t got = grid.nearest(c);
+    std::size_t want = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const double d = distance(pts[i], c);
+      if (d < best) {
+        best = d;
+        want = i;
+      }
+    }
+    ASSERT_NE(got, SpatialGrid::npos);
+    EXPECT_DOUBLE_EQ(distance(pts[got], c), distance(pts[want], c));
+  }
+}
+
+}  // namespace
+}  // namespace qlec

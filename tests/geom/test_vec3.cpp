@@ -1,0 +1,74 @@
+#include "geom/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qlec {
+namespace {
+
+TEST(Vec3, DefaultIsOrigin) {
+  constexpr Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(b / 2.0, (Vec3{2, 2.5, 3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= Vec3{1, 1, 1};
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3, 6, 9}));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{1, 2, 2};
+  EXPECT_DOUBLE_EQ(a.dot(a), 9.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 9.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 3.0);
+  EXPECT_DOUBLE_EQ(Vec3{}.norm(), 0.0);
+}
+
+TEST(Vec3, DotIsBilinear) {
+  const Vec3 a{1, -2, 3}, b{4, 0, -1}, c{2, 2, 2};
+  EXPECT_DOUBLE_EQ((a + b).dot(c), a.dot(c) + b.dot(c));
+  EXPECT_DOUBLE_EQ((a * 3.0).dot(b), 3.0 * a.dot(b));
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1, 1, 1}, {2, 2, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(distance({7, 7, 7}, {7, 7, 7}), 0.0);
+}
+
+TEST(Vec3, DistanceIsSymmetric) {
+  const Vec3 a{1, 2, 3}, b{-4, 0, 9};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Vec3, TriangleInequality) {
+  const Vec3 a{0, 0, 0}, b{1, 5, -2}, c{3, -1, 4};
+  EXPECT_LE(distance(a, c), distance(a, b) + distance(b, c) + 1e-12);
+}
+
+TEST(Vec3, Lerp) {
+  const Vec3 a{0, 0, 0}, b{10, 20, 30};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec3{5, 10, 15}));
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,105 @@
+// End-to-end runs exercising the paper's headline claims at reduced scale:
+// QLEC vs FCM vs k-means on PDR, energy, and lifespan.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace qlec {
+namespace {
+
+ExperimentConfig paper_like(double lambda, int rounds = 20,
+                            std::size_t seeds = 3) {
+  ExperimentConfig cfg;
+  cfg.scenario.n = 100;
+  cfg.scenario.m_side = 200.0;
+  cfg.scenario.initial_energy = 5.0;
+  cfg.sim.rounds = rounds;
+  cfg.sim.slots_per_round = 20;
+  cfg.sim.mean_interarrival = lambda;
+  cfg.sim.queue_capacity = 32;
+  cfg.sim.service_per_slot = 8;
+  cfg.seeds = seeds;
+  cfg.protocol.qlec.total_rounds = rounds;
+  return cfg;
+}
+
+TEST(EndToEnd, QlecRunsFullPaperConfiguration) {
+  const AggregatedMetrics m = run_experiment("qlec", paper_like(4.0));
+  EXPECT_GT(m.generated.mean(), 0.0);
+  EXPECT_GT(m.pdr.mean(), 0.5);
+  EXPECT_GT(m.total_energy.mean(), 0.0);
+  EXPECT_GT(m.heads_per_round.mean(), 1.0);
+}
+
+TEST(EndToEnd, QlecPdrBeatsKmeansWhenCongested) {
+  const ExperimentConfig cfg = paper_like(2.0);
+  const AggregatedMetrics q = run_experiment("qlec", cfg);
+  const AggregatedMetrics k = run_experiment("kmeans", cfg);
+  // Fig. 3(a): QLEC retains a higher delivery rate under congestion.
+  EXPECT_GT(q.pdr.mean(), k.pdr.mean() - 0.02);
+}
+
+TEST(EndToEnd, QlecPdrBeatsFcmWhenCongested) {
+  const ExperimentConfig cfg = paper_like(2.0);
+  const AggregatedMetrics q = run_experiment("qlec", cfg);
+  const AggregatedMetrics f = run_experiment("fcm", cfg);
+  EXPECT_GT(q.pdr.mean(), f.pdr.mean() - 0.02);
+}
+
+TEST(EndToEnd, FcmLatencyHigherThanQlec) {
+  // The FCM comparator's multi-hop uplink adds relay delay.
+  const ExperimentConfig cfg = paper_like(4.0);
+  const AggregatedMetrics q = run_experiment("qlec", cfg);
+  const AggregatedMetrics f = run_experiment("fcm", cfg);
+  EXPECT_GT(f.mean_latency.mean(), q.mean_latency.mean() * 0.9);
+}
+
+TEST(EndToEnd, LifespanQlecOutlastsKmeans) {
+  // Lifespan mode: tiny batteries, high death line pressure; run until the
+  // first node dies (Fig. 3(c) metric).
+  ExperimentConfig cfg = paper_like(4.0, /*rounds=*/400, /*seeds=*/3);
+  cfg.scenario.initial_energy = 3.0;
+  cfg.sim.stop_at_first_death = true;
+  // R = a-priori lifespan estimate for the Eq. 2 / Eq. 4 schedules.
+  cfg.protocol.qlec.total_rounds = 60;
+  const AggregatedMetrics q = run_experiment("qlec", cfg);
+  const AggregatedMetrics k = run_experiment("kmeans", cfg);
+  EXPECT_GT(q.first_death.mean(), 1.0);
+  // Energy-aware rotation should outlast energy-blind geometric heads.
+  EXPECT_GT(q.first_death.mean(), k.first_death.mean() * 0.8);
+}
+
+TEST(EndToEnd, DirectUplinkWastesEnergyVsQlec) {
+  const ExperimentConfig cfg = paper_like(4.0);
+  const AggregatedMetrics q = run_experiment("qlec", cfg);
+  const AggregatedMetrics d = run_experiment("direct", cfg);
+  // Clustering exists for a reason: direct multi-path uplinks burn much
+  // more energy per delivered packet.
+  const double q_per_packet =
+      q.total_energy.mean() / std::max(q.delivered.mean(), 1.0);
+  const double d_per_packet =
+      d.total_energy.mean() / std::max(d.delivered.mean(), 1.0);
+  EXPECT_GT(d_per_packet, q_per_packet);
+}
+
+TEST(EndToEnd, TerrainDeploymentWorks) {
+  ExperimentConfig cfg = paper_like(4.0, 10, 2);
+  cfg.deployment = "terrain";
+  const AggregatedMetrics m = run_experiment("qlec", cfg);
+  EXPECT_GT(m.pdr.mean(), 0.3);
+}
+
+TEST(EndToEnd, QlecEnergySpreadIsEven) {
+  // Fig. 4's qualitative claim: consumption rates are evenly spread. Check
+  // the coefficient of variation across nodes stays moderate.
+  ExperimentConfig cfg = paper_like(4.0, 20, 1);
+  const auto results = run_replications("qlec", cfg);
+  ASSERT_EQ(results.size(), 1u);
+  RunningStats per_node;
+  for (const double c : results[0].per_node_consumed) per_node.add(c);
+  EXPECT_GT(per_node.mean(), 0.0);
+  EXPECT_LT(per_node.cv(), 3.0);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,139 @@
+// Cross-protocol invariants checked over a (protocol x lambda) grid.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sim/experiment.hpp"
+
+namespace qlec {
+namespace {
+
+class ProtocolLambdaGrid
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {
+ protected:
+  static ExperimentConfig config(double lambda) {
+    ExperimentConfig cfg;
+    cfg.scenario.n = 50;
+    cfg.sim.rounds = 8;
+    cfg.sim.slots_per_round = 12;
+    cfg.sim.mean_interarrival = lambda;
+    cfg.seeds = 2;
+    cfg.protocol.qlec.total_rounds = 8;
+    return cfg;
+  }
+};
+
+TEST_P(ProtocolLambdaGrid, PacketConservation) {
+  const auto [name, lambda] = GetParam();
+  for (const SimResult& r :
+       run_replications(name, config(lambda))) {
+    EXPECT_EQ(r.generated,
+              r.delivered + r.lost_link + r.lost_queue + r.lost_dead)
+        << name << " lambda=" << lambda;
+  }
+}
+
+TEST_P(ProtocolLambdaGrid, EnergyNeverExceedsProvisioned) {
+  const auto [name, lambda] = GetParam();
+  const ExperimentConfig cfg = config(lambda);
+  const double provisioned =
+      static_cast<double>(cfg.scenario.n) * cfg.scenario.initial_energy;
+  for (const SimResult& r : run_replications(name, cfg)) {
+    EXPECT_LE(r.total_energy_consumed, provisioned + 1e-9);
+    EXPECT_GE(r.total_energy_consumed, 0.0);
+  }
+}
+
+TEST_P(ProtocolLambdaGrid, LedgerMatchesBatteries) {
+  const auto [name, lambda] = GetParam();
+  for (const SimResult& r : run_replications(name, config(lambda))) {
+    EXPECT_NEAR(r.energy.total(), r.total_energy_consumed,
+                r.total_energy_consumed * 1e-9 + 1e-12);
+  }
+}
+
+TEST_P(ProtocolLambdaGrid, PdrAndLatencyWellFormed) {
+  const auto [name, lambda] = GetParam();
+  for (const SimResult& r : run_replications(name, config(lambda))) {
+    EXPECT_GE(r.pdr(), 0.0);
+    EXPECT_LE(r.pdr(), 1.0);
+    EXPECT_EQ(r.latency.count(), r.delivered);
+    if (r.delivered > 0) {
+      EXPECT_GE(r.latency.min(), 0.0);
+      EXPECT_LT(r.latency.mean(),
+                static_cast<double>(r.rounds_completed + 1) * 12.0);
+    }
+  }
+}
+
+TEST_P(ProtocolLambdaGrid, PerNodeRatesBounded) {
+  const auto [name, lambda] = GetParam();
+  for (const SimResult& r : run_replications(name, config(lambda))) {
+    for (const double rate : r.per_node_rate) {
+      EXPECT_GE(rate, 0.0);
+      EXPECT_LE(rate, 1.0 + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ProtocolLambdaGrid,
+    ::testing::Combine(::testing::Values("qlec", "kmeans", "fcm", "leach",
+                                         "deec", "direct"),
+                       ::testing::Values(2.0, 8.0)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_lambda" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+// Congestion monotonicity: generated traffic strictly grows as lambda
+// shrinks, for every protocol.
+class CongestionMonotonicity
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CongestionMonotonicity, TrafficGrowsWithCongestion) {
+  const std::string name = GetParam();
+  ExperimentConfig idle;
+  idle.scenario.n = 40;
+  idle.sim.rounds = 6;
+  idle.sim.slots_per_round = 10;
+  idle.sim.mean_interarrival = 16.0;
+  idle.seeds = 2;
+  ExperimentConfig congested = idle;
+  congested.sim.mean_interarrival = 2.0;
+  const AggregatedMetrics a = run_experiment(name, idle);
+  const AggregatedMetrics b = run_experiment(name, congested);
+  EXPECT_GT(b.generated.mean(), 4.0 * a.generated.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, CongestionMonotonicity,
+                         ::testing::Values("qlec", "kmeans", "fcm"));
+
+// Failure injection: protocols must survive mid-run node deaths.
+class FailureInjection : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FailureInjection, SurvivesMassNodeDeath) {
+  const std::string name = GetParam();
+  ExperimentConfig cfg;
+  cfg.scenario.n = 40;
+  cfg.scenario.initial_energy = 5e-4;  // most nodes die mid-run
+  cfg.sim.rounds = 60;
+  cfg.sim.slots_per_round = 10;
+  cfg.sim.mean_interarrival = 2.0;
+  cfg.seeds = 2;
+  cfg.protocol.qlec.total_rounds = 60;
+  for (const SimResult& r : run_replications(name, cfg)) {
+    // Conservation still holds through deaths and stranded packets.
+    EXPECT_EQ(r.generated,
+              r.delivered + r.lost_link + r.lost_queue + r.lost_dead);
+    EXPECT_GE(r.first_death_round, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, FailureInjection,
+                         ::testing::Values("qlec", "kmeans", "fcm", "leach",
+                                           "deec"));
+
+}  // namespace
+}  // namespace qlec

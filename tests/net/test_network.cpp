@@ -1,0 +1,107 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qlec {
+namespace {
+
+Network make_test_network() {
+  const std::vector<Vec3> pts{{0, 0, 0}, {10, 0, 0}, {0, 10, 0}};
+  const std::vector<double> energy{5.0, 3.0, 1.0};
+  return Network(pts, energy, /*bs=*/{0, 0, 10}, Aabb::cube(10.0));
+}
+
+TEST(Network, ConstructionBasics) {
+  const Network net = make_test_network();
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.node(0).id, 0);
+  EXPECT_EQ(net.node(2).pos, (Vec3{0, 10, 0}));
+  EXPECT_DOUBLE_EQ(net.node(1).battery.initial(), 3.0);
+  EXPECT_EQ(net.bs(), (Vec3{0, 0, 10}));
+}
+
+TEST(Network, ScalarEnergyOverload) {
+  const Network net({{1, 1, 1}, {2, 2, 2}}, 7.5, {0, 0, 0},
+                    Aabb::cube(5.0));
+  EXPECT_DOUBLE_EQ(net.node(0).battery.initial(), 7.5);
+  EXPECT_DOUBLE_EQ(net.node(1).battery.initial(), 7.5);
+}
+
+TEST(Network, SizeMismatchThrows) {
+  EXPECT_THROW(Network({{0, 0, 0}}, std::vector<double>{1.0, 2.0},
+                       {0, 0, 0}, Aabb::cube(1.0)),
+               std::invalid_argument);
+}
+
+TEST(Network, DistanceHelpers) {
+  const Network net = make_test_network();
+  EXPECT_DOUBLE_EQ(net.dist(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(net.dist(0, kBaseStationId), 10.0);
+  EXPECT_DOUBLE_EQ(net.dist_to_bs(0), 10.0);
+}
+
+TEST(Network, AliveFiltering) {
+  Network net = make_test_network();
+  EXPECT_EQ(net.alive_count(0.0), 3u);
+  EXPECT_EQ(net.alive_ids(2.0), (std::vector<int>{0, 1}));
+  net.node(0).battery.consume(5.0);
+  EXPECT_EQ(net.alive_count(0.0), 2u);
+}
+
+TEST(Network, HeadManagement) {
+  Network net = make_test_network();
+  EXPECT_TRUE(net.head_ids().empty());
+  net.node(1).is_head = true;
+  EXPECT_EQ(net.head_ids(), (std::vector<int>{1}));
+  net.reset_heads();
+  EXPECT_TRUE(net.head_ids().empty());
+}
+
+TEST(Network, EnergyTotals) {
+  Network net = make_test_network();
+  EXPECT_DOUBLE_EQ(net.total_initial_energy(), 9.0);
+  EXPECT_DOUBLE_EQ(net.total_residual_energy(), 9.0);
+  net.node(0).battery.consume(2.0);
+  EXPECT_DOUBLE_EQ(net.total_residual_energy(), 7.0);
+  EXPECT_DOUBLE_EQ(net.total_initial_energy(), 9.0);
+}
+
+TEST(Network, MeanResidualAlive) {
+  Network net = make_test_network();
+  // Above death line 2.0: nodes 0 (5 J) and 1 (3 J).
+  EXPECT_DOUBLE_EQ(net.mean_residual_alive(2.0), 4.0);
+  // Nobody above 10 J.
+  EXPECT_DOUBLE_EQ(net.mean_residual_alive(10.0), 0.0);
+}
+
+TEST(Network, MeanDistToBs) {
+  const Network net({{0, 0, 0}, {0, 0, 20}}, 1.0, {0, 0, 10},
+                    Aabb::cube(20.0));
+  EXPECT_DOUBLE_EQ(net.mean_dist_to_bs(), 10.0);
+}
+
+TEST(Network, PositionsSnapshot) {
+  const Network net = make_test_network();
+  const auto pos = net.positions();
+  ASSERT_EQ(pos.size(), 3u);
+  EXPECT_EQ(pos[1], (Vec3{10, 0, 0}));
+}
+
+TEST(Network, EmptyNetwork) {
+  const Network net;
+  EXPECT_EQ(net.size(), 0u);
+  EXPECT_EQ(net.mean_dist_to_bs(), 0.0);
+  EXPECT_EQ(net.total_initial_energy(), 0.0);
+  EXPECT_TRUE(net.head_ids().empty());
+}
+
+TEST(SensorNode, NeverHeadSentinel) {
+  const SensorNode n(3, {1, 2, 3}, 5.0);
+  EXPECT_EQ(n.last_head_round, kNeverHead);
+  EXPECT_FALSE(n.is_head);
+}
+
+}  // namespace
+}  // namespace qlec

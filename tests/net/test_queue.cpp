@@ -1,0 +1,93 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+Packet make_packet(std::uint64_t id) {
+  Packet p;
+  p.id = id;
+  p.bits = 4000.0;
+  return p;
+}
+
+TEST(PacketQueue, StartsEmpty) {
+  PacketQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.drops(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(PacketQueue, FifoOrder) {
+  PacketQueue q(10);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.push(make_packet(i)));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto p = q.pop();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->id, i);
+  }
+}
+
+TEST(PacketQueue, DropsWhenFull) {
+  PacketQueue q(2);
+  EXPECT_TRUE(q.push(make_packet(0)));
+  EXPECT_TRUE(q.push(make_packet(1)));
+  EXPECT_FALSE(q.push(make_packet(2)));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(PacketQueue, PopFreesCapacity) {
+  PacketQueue q(1);
+  EXPECT_TRUE(q.push(make_packet(0)));
+  EXPECT_FALSE(q.push(make_packet(1)));
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_TRUE(q.push(make_packet(2)));
+  EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(PacketQueue, ZeroCapacityMeansUnbounded) {
+  PacketQueue q(0);
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    EXPECT_TRUE(q.push(make_packet(i)));
+  EXPECT_EQ(q.size(), 1000u);
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(PacketQueue, ClearResetsEverything) {
+  PacketQueue q(1);
+  q.push(make_packet(0));
+  q.push(make_packet(1));  // drop
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.drops(), 0u);
+  EXPECT_TRUE(q.push(make_packet(2)));
+}
+
+TEST(PacketQueue, PreservesPacketContents) {
+  PacketQueue q(4);
+  Packet p = make_packet(7);
+  p.src = 13;
+  p.gen_slot = 99;
+  p.hops = 3;
+  q.push(p);
+  const auto out = q.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->src, 13);
+  EXPECT_EQ(out->gen_slot, 99);
+  EXPECT_EQ(out->hops, 3);
+}
+
+TEST(Packet, LatencyAndDeliveredFlags) {
+  Packet p = make_packet(1);
+  p.gen_slot = 10;
+  EXPECT_FALSE(p.delivered());
+  p.deliver_slot = 25;
+  EXPECT_TRUE(p.delivered());
+  EXPECT_EQ(p.latency(), 15);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,80 @@
+#include "net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(PoissonTraffic, DisabledWhenMeanNonPositive) {
+  Rng rng(1);
+  PoissonTraffic t(10, 0.0, rng);
+  for (std::int64_t s = 0; s < 100; ++s)
+    EXPECT_TRUE(t.arrivals_in_slot(s, rng).empty());
+}
+
+TEST(PoissonTraffic, RateMatchesMeanInterarrival) {
+  Rng rng(2);
+  const std::size_t nodes = 50;
+  const double lambda = 4.0;  // one packet per node every 4 slots
+  PoissonTraffic t(nodes, lambda, rng);
+  std::size_t total = 0;
+  const std::int64_t slots = 2000;
+  for (std::int64_t s = 0; s < slots; ++s)
+    total += t.arrivals_in_slot(s, rng).size();
+  const double expected =
+      static_cast<double>(nodes) * static_cast<double>(slots) / lambda;
+  EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.05);
+}
+
+TEST(PoissonTraffic, SmallerLambdaMeansMoreTraffic) {
+  Rng rng1(3), rng2(3);
+  PoissonTraffic fast(20, 2.0, rng1);
+  PoissonTraffic slow(20, 16.0, rng2);
+  std::size_t fast_total = 0, slow_total = 0;
+  for (std::int64_t s = 0; s < 500; ++s) {
+    fast_total += fast.arrivals_in_slot(s, rng1).size();
+    slow_total += slow.arrivals_in_slot(s, rng2).size();
+  }
+  EXPECT_GT(fast_total, 4 * slow_total);
+}
+
+TEST(PoissonTraffic, ArrivalIndicesInRange) {
+  Rng rng(4);
+  PoissonTraffic t(7, 1.0, rng);
+  for (std::int64_t s = 0; s < 200; ++s)
+    for (const std::size_t i : t.arrivals_in_slot(s, rng)) EXPECT_LT(i, 7u);
+}
+
+TEST(PoissonTraffic, NoArrivalLostBetweenSlots) {
+  // Querying every slot in order must enumerate each arrival exactly once:
+  // total count is reproducible for a fixed seed regardless of chunking.
+  Rng rng_a(5), rng_b(5);
+  PoissonTraffic a(5, 3.0, rng_a);
+  PoissonTraffic b(5, 3.0, rng_b);
+  std::size_t total_a = 0;
+  for (std::int64_t s = 0; s < 300; ++s)
+    total_a += a.arrivals_in_slot(s, rng_a).size();
+  std::size_t total_b = 0;
+  for (std::int64_t s = 0; s < 300; ++s)
+    total_b += b.arrivals_in_slot(s, rng_b).size();
+  EXPECT_EQ(total_a, total_b);
+  EXPECT_GT(total_a, 0u);
+}
+
+TEST(PoissonTraffic, BurstsPossibleWithinOneSlot) {
+  Rng rng(6);
+  PoissonTraffic t(1, 0.2, rng);  // ~5 arrivals per slot on one node
+  bool saw_burst = false;
+  for (std::int64_t s = 0; s < 100 && !saw_burst; ++s)
+    saw_burst = t.arrivals_in_slot(s, rng).size() >= 2;
+  EXPECT_TRUE(saw_burst);
+}
+
+TEST(PoissonTraffic, ZeroNodes) {
+  Rng rng(7);
+  PoissonTraffic t(0, 1.0, rng);
+  EXPECT_TRUE(t.arrivals_in_slot(0, rng).empty());
+}
+
+}  // namespace
+}  // namespace qlec

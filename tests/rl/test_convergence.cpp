@@ -1,0 +1,72 @@
+#include "rl/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(ConvergenceTracker, NotConvergedInitially) {
+  const ConvergenceTracker t(1e-3, 3);
+  EXPECT_FALSE(t.converged());
+  EXPECT_EQ(t.updates(), 0u);
+}
+
+TEST(ConvergenceTracker, RequiresPatienceConsecutiveQuietUpdates) {
+  ConvergenceTracker t(1e-3, 3);
+  EXPECT_FALSE(t.record(1e-5));
+  EXPECT_FALSE(t.record(1e-5));
+  EXPECT_TRUE(t.record(1e-5));
+  EXPECT_TRUE(t.converged());
+  EXPECT_EQ(t.updates_to_convergence(), 3u);
+}
+
+TEST(ConvergenceTracker, LoudUpdateResetsStreak) {
+  ConvergenceTracker t(1e-3, 2);
+  t.record(1e-5);
+  t.record(1.0);  // streak broken
+  t.record(1e-5);
+  EXPECT_FALSE(t.converged());
+  t.record(1e-5);
+  EXPECT_TRUE(t.converged());
+  EXPECT_EQ(t.updates_to_convergence(), 4u);
+}
+
+TEST(ConvergenceTracker, NegativeDeltasUseMagnitude) {
+  ConvergenceTracker t(1e-3, 1);
+  EXPECT_FALSE(t.record(-1.0));
+  EXPECT_TRUE(t.record(-1e-9));
+}
+
+TEST(ConvergenceTracker, StaysConvergedAfterCriterionMet) {
+  ConvergenceTracker t(1e-3, 1);
+  t.record(1e-9);
+  EXPECT_TRUE(t.converged());
+  t.record(100.0);  // converged is latched (X is "updates to converge")
+  EXPECT_TRUE(t.converged());
+  EXPECT_EQ(t.updates_to_convergence(), 1u);
+  EXPECT_EQ(t.updates(), 2u);
+}
+
+TEST(ConvergenceTracker, ZeroPatienceClampedToOne) {
+  ConvergenceTracker t(1e-3, 0);
+  EXPECT_TRUE(t.record(0.0));
+}
+
+TEST(ConvergenceTracker, ResetClearsState) {
+  ConvergenceTracker t(1e-3, 1);
+  t.record(0.0);
+  EXPECT_TRUE(t.converged());
+  t.reset();
+  EXPECT_FALSE(t.converged());
+  EXPECT_EQ(t.updates(), 0u);
+}
+
+TEST(ConvergenceTracker, UpdatesToConvergenceBeforeConverging) {
+  ConvergenceTracker t(1e-3, 5);
+  t.record(1.0);
+  t.record(1.0);
+  EXPECT_EQ(t.updates_to_convergence(), 2u);  // == updates() so far
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,81 @@
+#include "rl/qtable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qlec {
+namespace {
+
+TEST(QTable, InitialValue) {
+  const QTable q(3, 4, 1.5);
+  EXPECT_EQ(q.states(), 3u);
+  EXPECT_EQ(q.actions(), 4u);
+  for (std::size_t s = 0; s < 3; ++s)
+    for (std::size_t a = 0; a < 4; ++a) EXPECT_DOUBLE_EQ(q.get(s, a), 1.5);
+}
+
+TEST(QTable, SetGetRoundTrip) {
+  QTable q(2, 2);
+  q.set(1, 0, -3.25);
+  EXPECT_DOUBLE_EQ(q.get(1, 0), -3.25);
+  EXPECT_DOUBLE_EQ(q.get(0, 0), 0.0);
+}
+
+TEST(QTable, OutOfRangeThrows) {
+  QTable q(2, 2);
+  EXPECT_THROW(q.get(2, 0), std::out_of_range);
+  EXPECT_THROW(q.get(0, 2), std::out_of_range);
+  EXPECT_THROW(q.set(5, 5, 1.0), std::out_of_range);
+}
+
+TEST(QTable, BlendMovesTowardTarget) {
+  QTable q(1, 1);
+  const double delta = q.blend(0, 0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(q.get(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(delta, 5.0);
+  q.blend(0, 0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(q.get(0, 0), 7.5);
+}
+
+TEST(QTable, BlendWithAlphaOneJumpsToTarget) {
+  QTable q(1, 1, 3.0);
+  q.blend(0, 0, -2.0, 1.0);
+  EXPECT_DOUBLE_EQ(q.get(0, 0), -2.0);
+}
+
+TEST(QTable, BlendReturnsAbsoluteDelta) {
+  QTable q(1, 1, 5.0);
+  EXPECT_DOUBLE_EQ(q.blend(0, 0, 1.0, 0.5), 2.0);
+}
+
+TEST(QTable, BestActionAndMaxQ) {
+  QTable q(1, 3);
+  q.set(0, 0, 1.0);
+  q.set(0, 1, 5.0);
+  q.set(0, 2, 3.0);
+  EXPECT_EQ(q.best_action(0), 1u);
+  EXPECT_DOUBLE_EQ(q.max_q(0), 5.0);
+}
+
+TEST(QTable, BestActionTieBreaksLowestIndex) {
+  QTable q(1, 3, 2.0);
+  EXPECT_EQ(q.best_action(0), 0u);
+}
+
+TEST(QTable, NoActionsEdgeCases) {
+  QTable q(2, 0);
+  EXPECT_DOUBLE_EQ(q.max_q(0), 0.0);
+  EXPECT_THROW(q.best_action(0), std::logic_error);
+}
+
+TEST(QTable, FillResets) {
+  QTable q(2, 2, 1.0);
+  q.set(0, 0, 9.0);
+  q.fill(-1.0);
+  for (std::size_t s = 0; s < 2; ++s)
+    for (std::size_t a = 0; a < 2; ++a) EXPECT_DOUBLE_EQ(q.get(s, a), -1.0);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,104 @@
+// The flat-routing data plane (QELAR protocol integration).
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/protocols/qelar_protocol.hpp"
+
+namespace qlec {
+namespace {
+
+ExperimentConfig flat_config(double lambda = 4.0) {
+  ExperimentConfig cfg;
+  cfg.scenario.n = 50;
+  cfg.sim.rounds = 6;
+  cfg.sim.slots_per_round = 12;
+  cfg.sim.mean_interarrival = lambda;
+  cfg.seeds = 2;
+  return cfg;
+}
+
+TEST(FlatRouting, QelarRunsViaRegistry) {
+  for (const SimResult& r : run_replications("qelar", flat_config())) {
+    EXPECT_EQ(r.protocol, "QELAR");
+    EXPECT_GT(r.generated, 0u);
+    EXPECT_GT(r.pdr(), 0.8);
+    EXPECT_EQ(r.heads_per_round.mean(), 0.0);  // no cluster heads
+  }
+}
+
+TEST(FlatRouting, PacketConservationHolds) {
+  for (const double lambda : {2.0, 8.0}) {
+    for (const SimResult& r :
+         run_replications("qelar", flat_config(lambda))) {
+      EXPECT_EQ(r.generated,
+                r.delivered + r.lost_link + r.lost_queue + r.lost_dead);
+    }
+  }
+}
+
+TEST(FlatRouting, LedgerMatchesBatteries) {
+  for (const SimResult& r : run_replications("qelar", flat_config())) {
+    EXPECT_NEAR(r.energy.total(), r.total_energy_consumed,
+                r.total_energy_consumed * 1e-9 + 1e-12);
+  }
+}
+
+TEST(FlatRouting, MultiHopLatencyScalesWithHops) {
+  // Relay hops cost at least a slot; with the BS on the top face, typical
+  // paths take 1-4 hops, so the mean latency sits well above the
+  // same-slot 0 and far below cluster-mode round-end batching (~10).
+  const auto results = run_replications("qelar", flat_config(8.0));
+  for (const SimResult& r : results) {
+    EXPECT_GT(r.latency.mean(), 0.3);
+    EXPECT_LT(r.latency.mean(), 6.0);
+  }
+}
+
+TEST(FlatRouting, NoAggregationEnergyCharged) {
+  for (const SimResult& r : run_replications("qelar", flat_config())) {
+    EXPECT_DOUBLE_EQ(r.energy.by_use(EnergyUse::kAggregate), 0.0);
+    EXPECT_DOUBLE_EQ(r.energy.by_use(EnergyUse::kControl), 0.0);
+    EXPECT_GT(r.energy.by_use(EnergyUse::kReceive), 0.0);  // relays rx
+  }
+}
+
+TEST(FlatRouting, LearningUpdatesReported) {
+  const auto results = run_replications("qelar", flat_config());
+  for (const SimResult& r : results) EXPECT_GT(r.q_evaluations, 0u);
+}
+
+TEST(FlatRouting, SurvivesMassDeath) {
+  ExperimentConfig cfg = flat_config(2.0);
+  cfg.scenario.initial_energy = 5e-3;
+  cfg.sim.rounds = 40;
+  for (const SimResult& r : run_replications("qelar", cfg)) {
+    EXPECT_EQ(r.generated,
+              r.delivered + r.lost_link + r.lost_queue + r.lost_dead);
+    EXPECT_GE(r.first_death_round, 0);
+  }
+}
+
+TEST(FlatRouting, MobilityKeepsWorking) {
+  ExperimentConfig cfg = flat_config();
+  cfg.sim.mobility.kind = MobilityKind::kRandomWaypoint;
+  cfg.sim.mobility.speed = 15.0;
+  for (const SimResult& r : run_replications("qelar", cfg)) {
+    EXPECT_GT(r.pdr(), 0.5);  // graph rebuilt every round
+    EXPECT_EQ(r.generated,
+              r.delivered + r.lost_link + r.lost_queue + r.lost_dead);
+  }
+}
+
+TEST(FlatRouting, ProtocolFlagConsistency) {
+  Rng rng(1);
+  ScenarioConfig scenario;
+  scenario.n = 20;
+  const Network net = make_uniform_network(scenario, rng);
+  const auto qelar = make_protocol("qelar", net, ProtocolOptions{});
+  const auto qlec = make_protocol("qlec", net, ProtocolOptions{});
+  EXPECT_TRUE(qelar->flat_routing());
+  EXPECT_FALSE(qlec->flat_routing());
+}
+
+}  // namespace
+}  // namespace qlec

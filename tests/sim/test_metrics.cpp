@@ -1,0 +1,60 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(SimResult, PdrComputations) {
+  SimResult r;
+  EXPECT_DOUBLE_EQ(r.pdr(), 1.0);  // nothing generated
+  r.generated = 10;
+  r.delivered = 7;
+  EXPECT_DOUBLE_EQ(r.pdr(), 0.7);
+}
+
+TEST(AggregatedMetrics, CollectsAcrossResults) {
+  AggregatedMetrics agg;
+  SimResult a;
+  a.protocol = "test";
+  a.generated = 100;
+  a.delivered = 90;
+  a.total_energy_consumed = 2.0;
+  a.first_death_round = 5;
+  a.rounds_completed = 20;
+  SimResult b = a;
+  b.delivered = 80;
+  b.total_energy_consumed = 4.0;
+  agg.add(a);
+  agg.add(b);
+  EXPECT_EQ(agg.protocol, "test");
+  EXPECT_EQ(agg.pdr.count(), 2u);
+  EXPECT_NEAR(agg.pdr.mean(), 0.85, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.total_energy.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(agg.first_death.mean(), 5.0);
+}
+
+TEST(AggregatedMetrics, MissingDeathFallsBackToRoundsCompleted) {
+  AggregatedMetrics agg;
+  SimResult r;
+  r.first_death_round = -1;  // no node died
+  r.half_death_round = -1;
+  r.rounds_completed = 40;
+  agg.add(r);
+  EXPECT_DOUBLE_EQ(agg.first_death.mean(), 40.0);
+  EXPECT_DOUBLE_EQ(agg.half_death.mean(), 40.0);
+}
+
+TEST(AggregatedMetrics, FirstProtocolNameWins) {
+  AggregatedMetrics agg;
+  SimResult a;
+  a.protocol = "one";
+  SimResult b;
+  b.protocol = "two";
+  agg.add(a);
+  agg.add(b);
+  EXPECT_EQ(agg.protocol, "one");
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/protocols/deec_protocol.hpp"
+#include "sim/protocols/direct_protocol.hpp"
+#include "sim/protocols/fcm_protocol.hpp"
+#include "sim/protocols/kmeans_protocol.hpp"
+#include "sim/protocols/leach_protocol.hpp"
+#include "sim/protocols/registry.hpp"
+#include "sim/scenario.hpp"
+
+namespace qlec {
+namespace {
+
+Network test_network(Rng& rng, std::size_t n = 60) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  return make_uniform_network(cfg, rng);
+}
+
+TEST(KmeansProtocol, ElectsExactlyKHeads) {
+  Rng rng(1);
+  Network net = test_network(rng);
+  KmeansProtocol proto(5, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  EXPECT_EQ(net.head_ids().size(), 5u);
+}
+
+TEST(KmeansProtocol, MembersRouteToNearestHead) {
+  Rng rng(2);
+  Network net = test_network(rng);
+  KmeansProtocol proto(4, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const auto heads = net.head_ids();
+  for (int src = 0; src < 10; ++src) {
+    if (net.node(src).is_head) continue;
+    const int target = proto.route(net, src, 4000.0, rng);
+    ASSERT_NE(target, kBaseStationId);
+    const double d = net.dist(src, target);
+    for (const int h : heads) EXPECT_LE(d, net.dist(src, h) + 1e-9);
+  }
+}
+
+TEST(KmeansProtocol, IgnoresEnergyInHeadChoice) {
+  Rng rng(3);
+  Network net = test_network(rng);
+  // Drain a specific node heavily; k-means may still pick it as head if it
+  // is geometrically central. Just assert election still works and charges
+  // HELLO energy.
+  net.node(0).battery.consume(4.9);
+  KmeansProtocol proto(4, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  EXPECT_EQ(net.head_ids().size(), 4u);
+  EXPECT_GT(ledger.by_use(EnergyUse::kControl), 0.0);
+}
+
+TEST(KmeansProtocol, SkipsDeadNodes) {
+  Rng rng(4);
+  Network net = test_network(rng);
+  for (int i = 0; i < 30; ++i) net.node(i).battery.consume(5.0);
+  KmeansProtocol proto(4, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  for (const int h : net.head_ids()) EXPECT_GE(h, 30);
+}
+
+TEST(KmeansProtocol, AllDeadNoHeadsAndBsRouting) {
+  Rng rng(5);
+  Network net = test_network(rng, 10);
+  for (auto& n : net.nodes()) n.battery.consume(5.0);
+  KmeansProtocol proto(3, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  EXPECT_TRUE(net.head_ids().empty());
+  EXPECT_EQ(proto.route(net, 0, 4000.0, rng), kBaseStationId);
+}
+
+TEST(FcmProtocol, ElectsKHeadsWithEnergyBias) {
+  Rng rng(6);
+  Network net = test_network(rng, 80);
+  // Drain odd nodes; FCM head choice weighs residual energy, so heads
+  // should be predominantly even ids.
+  for (int i = 1; i < 80; i += 2) net.node(i).battery.consume(4.5);
+  FcmProtocol proto(6, 3, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const auto heads = net.head_ids();
+  EXPECT_EQ(heads.size(), 6u);
+  int even = 0;
+  for (const int h : heads) even += (h % 2 == 0) ? 1 : 0;
+  EXPECT_GE(even, 5);
+}
+
+TEST(FcmProtocol, UplinkChainsDescendTowardBs) {
+  Rng rng(7);
+  Network net = test_network(rng, 80);
+  FcmProtocol proto(6, 3, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  for (const int h : net.head_ids()) {
+    int current = h;
+    int hops = 0;
+    while (current != kBaseStationId && hops < 20) {
+      const int next = proto.uplink_target(net, current, rng);
+      if (next != kBaseStationId)
+        EXPECT_LT(net.dist_to_bs(next), net.dist_to_bs(current) + 1e-9);
+      current = next;
+      ++hops;
+    }
+    EXPECT_EQ(current, kBaseStationId);
+  }
+}
+
+TEST(FcmProtocol, SomeHeadRelaysMultiHop) {
+  Rng rng(8);
+  Network net = test_network(rng, 100);
+  FcmProtocol proto(8, 4, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  bool saw_relay = false;
+  for (const int h : net.head_ids())
+    saw_relay |= proto.uplink_target(net, h, rng) != kBaseStationId;
+  EXPECT_TRUE(saw_relay);
+}
+
+TEST(FcmProtocol, RouteReturnsLiveHead) {
+  Rng rng(9);
+  Network net = test_network(rng, 60);
+  FcmProtocol proto(5, 3, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const auto heads = net.head_ids();
+  for (int src = 0; src < 20; ++src) {
+    if (net.node(src).is_head) continue;
+    const int t = proto.route(net, src, 4000.0, rng);
+    EXPECT_TRUE(std::find(heads.begin(), heads.end(), t) != heads.end());
+  }
+}
+
+TEST(LeachProtocol, ElectionVariesAcrossRounds) {
+  Rng rng(10);
+  Network net = test_network(rng);
+  LeachProtocol proto(0.1, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  std::set<int> all_heads;
+  for (int r = 0; r < 20; ++r) {
+    proto.on_round_start(net, r, rng, ledger);
+    for (const int h : net.head_ids()) all_heads.insert(h);
+  }
+  EXPECT_GT(all_heads.size(), 10u);  // rotation spreads the role
+}
+
+TEST(DeecProtocol, PrefersRicherHeads) {
+  Rng rng(11);
+  Network net = test_network(rng, 100);
+  for (int i = 0; i < 50; ++i) net.node(i).battery.consume(4.0);
+  DeecParams params;
+  params.p_opt = 0.08;
+  params.total_rounds = 1000;
+  DeecProtocol proto(params, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  int rich = 0, poor = 0;
+  for (int r = 0; r < 40; ++r) {
+    proto.on_round_start(net, r, rng, ledger);
+    for (const int h : net.head_ids()) (h < 50 ? poor : rich) += 1;
+  }
+  EXPECT_GT(rich, poor);
+}
+
+TEST(Registry, AllNamesConstruct) {
+  Rng rng(12);
+  const Network net = test_network(rng);
+  ProtocolOptions opt;
+  for (const std::string& name : protocol_names()) {
+    const auto proto = make_protocol(name, net, opt);
+    ASSERT_NE(proto, nullptr) << name;
+    EXPECT_FALSE(proto->name().empty());
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  Rng rng(13);
+  const Network net = test_network(rng);
+  EXPECT_THROW(make_protocol("bogus", net, ProtocolOptions{}),
+               std::invalid_argument);
+}
+
+TEST(Registry, KOverrideRespected) {
+  Rng rng(14);
+  Network net = test_network(rng);
+  ProtocolOptions opt;
+  opt.k = 9;
+  const auto proto = make_protocol("kmeans", net, opt);
+  EnergyLedger ledger;
+  proto->on_round_start(net, 0, rng, ledger);
+  EXPECT_EQ(net.head_ids().size(), 9u);
+}
+
+TEST(Registry, ForceKFlowsToQlec) {
+  Rng rng(15);
+  const Network net = test_network(rng);
+  ProtocolOptions opt;
+  opt.qlec.force_k = 7;
+  const auto proto = make_protocol("qlec", net, opt);
+  // Indirect check: the default learning_updates starts at 0 and route
+  // evaluates k+1 actions; we can't see k_opt through the base pointer, so
+  // just ensure construction succeeded with the override in place.
+  EXPECT_EQ(proto->name(), "QLEC");
+}
+
+TEST(DirectProtocol, AlwaysRoutesToBs) {
+  Rng rng(16);
+  Network net = test_network(rng, 10);
+  DirectProtocol proto;
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  EXPECT_TRUE(net.head_ids().empty());
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(proto.route(net, i, 4000.0, rng), kBaseStationId);
+  EXPECT_EQ(proto.learning_updates(), 0u);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,94 @@
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(BsPosition, AllPlacements) {
+  const Aabb box = Aabb::cube(200.0);
+  EXPECT_EQ(bs_position(BsPlacement::kCenter, box), (Vec3{100, 100, 100}));
+  EXPECT_EQ(bs_position(BsPlacement::kTopFaceCenter, box),
+            (Vec3{100, 100, 200}));
+  EXPECT_EQ(bs_position(BsPlacement::kCorner, box), (Vec3{200, 200, 200}));
+  EXPECT_EQ(bs_position(BsPlacement::kExternal, box),
+            (Vec3{100, 100, 300}));
+}
+
+TEST(MakeUniformNetwork, PaperDefaults) {
+  ScenarioConfig cfg;
+  Rng rng(1);
+  const Network net = make_uniform_network(cfg, rng);
+  EXPECT_EQ(net.size(), 100u);
+  EXPECT_DOUBLE_EQ(net.domain().volume(), 200.0 * 200.0 * 200.0);
+  for (const SensorNode& n : net.nodes()) {
+    EXPECT_TRUE(net.domain().contains(n.pos));
+    EXPECT_DOUBLE_EQ(n.battery.initial(), 5.0);
+  }
+  EXPECT_EQ(net.bs(), (Vec3{100, 100, 200}));
+}
+
+TEST(MakeUniformNetwork, SurfaceSinkDistanceSupportsKopt5) {
+  // The §5.1 claim k_opt ≈ 5 requires mean d_toBS ≈ 0.66 M (DESIGN.md §6).
+  ScenarioConfig cfg;
+  cfg.n = 5000;
+  Rng rng(2);
+  const Network net = make_uniform_network(cfg, rng);
+  EXPECT_NEAR(net.mean_dist_to_bs() / cfg.m_side, 0.66, 0.03);
+}
+
+TEST(MakeUniformNetwork, HeterogeneousEnergySpread) {
+  ScenarioConfig cfg;
+  cfg.n = 500;
+  cfg.energy_heterogeneity = 0.5;
+  Rng rng(3);
+  const Network net = make_uniform_network(cfg, rng);
+  double lo = 1e9, hi = -1e9;
+  for (const SensorNode& n : net.nodes()) {
+    lo = std::min(lo, n.battery.initial());
+    hi = std::max(hi, n.battery.initial());
+  }
+  EXPECT_GE(lo, 2.5 - 1e-9);
+  EXPECT_LE(hi, 7.5 + 1e-9);
+  EXPECT_GT(hi - lo, 1.0);  // actually spread out
+}
+
+TEST(MakeUniformNetwork, DeterministicGivenRngState) {
+  ScenarioConfig cfg;
+  Rng a(7), b(7);
+  const Network na = make_uniform_network(cfg, a);
+  const Network nb = make_uniform_network(cfg, b);
+  for (std::size_t i = 0; i < na.size(); ++i)
+    EXPECT_EQ(na.node(static_cast<int>(i)).pos,
+              nb.node(static_cast<int>(i)).pos);
+}
+
+TEST(MakeTerrainNetwork, ProducesValidNetwork) {
+  ScenarioConfig cfg;
+  cfg.n = 200;
+  Rng rng(4);
+  const Network net = make_terrain_network(cfg, rng);
+  EXPECT_EQ(net.size(), 200u);
+  for (const SensorNode& n : net.nodes())
+    EXPECT_TRUE(net.domain().contains(n.pos));
+}
+
+TEST(MakeTerrainNetwork, HeightsFollowRidges) {
+  ScenarioConfig cfg;
+  cfg.n = 2000;
+  Rng rng(5);
+  const Network net = make_terrain_network(cfg, rng);
+  // Terrain z-variance should be well below a uniform deployment's.
+  double mean_z = 0.0;
+  for (const SensorNode& n : net.nodes()) mean_z += n.pos.z;
+  mean_z /= static_cast<double>(net.size());
+  double var_z = 0.0;
+  for (const SensorNode& n : net.nodes())
+    var_z += (n.pos.z - mean_z) * (n.pos.z - mean_z);
+  var_z /= static_cast<double>(net.size());
+  const double uniform_var = 200.0 * 200.0 / 12.0;
+  EXPECT_LT(var_z, uniform_var * 0.8);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,171 @@
+// Simulator extensions: mobility integration, energy harvesting, fixed-
+// summary aggregation, and the TL-LEACH / HEED protocol adapters.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/protocols/heed_protocol.hpp"
+#include "sim/protocols/tl_leach_protocol.hpp"
+
+namespace qlec {
+namespace {
+
+ExperimentConfig fast_config() {
+  ExperimentConfig cfg;
+  cfg.scenario.n = 40;
+  cfg.sim.rounds = 6;
+  cfg.sim.slots_per_round = 10;
+  cfg.seeds = 2;
+  cfg.protocol.qlec.total_rounds = 6;
+  return cfg;
+}
+
+TEST(SimExtensions, MobilityChangesTrajectories) {
+  ExperimentConfig still = fast_config();
+  ExperimentConfig moving = fast_config();
+  moving.sim.mobility.kind = MobilityKind::kRandomWaypoint;
+  moving.sim.mobility.speed = 20.0;
+  const auto a = run_replications("qlec", still);
+  const auto b = run_replications("qlec", moving);
+  // Same seeds, different physics => different packet outcomes.
+  EXPECT_FALSE(a[0].delivered == b[0].delivered &&
+               a[0].total_energy_consumed == b[0].total_energy_consumed);
+}
+
+TEST(SimExtensions, MobilityPreservesConservation) {
+  ExperimentConfig cfg = fast_config();
+  cfg.sim.mobility.kind = MobilityKind::kRandomWalk;
+  cfg.sim.mobility.speed = 15.0;
+  for (const char* name : {"qlec", "kmeans", "fcm"}) {
+    for (const SimResult& r : run_replications(name, cfg)) {
+      EXPECT_EQ(r.generated,
+                r.delivered + r.lost_link + r.lost_queue + r.lost_dead)
+          << name;
+    }
+  }
+}
+
+TEST(SimExtensions, HarvestingExtendsLifespan) {
+  ExperimentConfig drained = fast_config();
+  drained.scenario.initial_energy = 0.3;
+  drained.sim.rounds = 150;
+  drained.sim.mean_interarrival = 4.0;
+  drained.sim.stop_at_first_death = true;
+  drained.protocol.qlec.total_rounds = 40;
+  ExperimentConfig harvested = drained;
+  harvested.sim.harvest_per_round = 0.05;  // solar top-up
+  const AggregatedMetrics a = run_experiment("qlec", drained);
+  const AggregatedMetrics b = run_experiment("qlec", harvested);
+  EXPECT_GT(b.first_death.mean(), a.first_death.mean());
+}
+
+TEST(SimExtensions, FixedSummaryCheaperThanRatioUnderLoad) {
+  ExperimentConfig ratio = fast_config();
+  ratio.sim.mean_interarrival = 2.0;
+  ExperimentConfig fixed = ratio;
+  fixed.sim.aggregation = Aggregation::kFixedSummary;
+  const AggregatedMetrics a = run_experiment("kmeans", ratio);
+  const AggregatedMetrics b = run_experiment("kmeans", fixed);
+  // A single L-bit summary per head per round beats shipping 50% of all
+  // collected bits.
+  EXPECT_LT(b.total_energy.mean(), a.total_energy.mean());
+  EXPECT_GT(b.pdr.mean(), 0.5);
+}
+
+TEST(SimExtensions, TlLeachRunsViaRegistry) {
+  const auto results = run_replications("tl-leach", fast_config());
+  for (const SimResult& r : results) {
+    EXPECT_EQ(r.protocol, "TL-LEACH");
+    EXPECT_GT(r.generated, 0u);
+    EXPECT_EQ(r.generated,
+              r.delivered + r.lost_link + r.lost_queue + r.lost_dead);
+  }
+}
+
+TEST(SimExtensions, HeedRunsViaRegistry) {
+  const auto results = run_replications("heed", fast_config());
+  for (const SimResult& r : results) {
+    EXPECT_EQ(r.protocol, "HEED");
+    EXPECT_GT(r.pdr(), 0.3);
+  }
+}
+
+TEST(SimExtensions, TlLeachSecondariesRelayThroughPrimaries) {
+  Rng rng(3);
+  ScenarioConfig scenario;
+  scenario.n = 120;
+  Network net = make_uniform_network(scenario, rng);
+  TlLeachProtocol proto(0.04, 0.15, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  bool saw_relay = false;
+  for (const int s : proto.levels().secondaries) {
+    const int up = proto.uplink_target(net, s, rng);
+    if (up != kBaseStationId) {
+      saw_relay = true;
+      // Must be a live primary.
+      const auto& prim = proto.levels().primaries;
+      EXPECT_TRUE(std::find(prim.begin(), prim.end(), up) != prim.end());
+    }
+  }
+  if (!proto.levels().primaries.empty() &&
+      !proto.levels().secondaries.empty()) {
+    EXPECT_TRUE(saw_relay);
+  }
+}
+
+TEST(SimExtensions, HeedProtocolCoversMembers) {
+  Rng rng(4);
+  ScenarioConfig scenario;
+  scenario.n = 100;
+  Network net = make_uniform_network(scenario, rng);
+  HeedConfig hc;
+  hc.cluster_range = 60.0;
+  HeedProtocol proto(hc, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  EXPECT_FALSE(net.head_ids().empty());
+  for (int i = 0; i < 20; ++i) {
+    if (net.node(i).is_head) continue;
+    const int t = proto.route(net, i, 4000.0, rng);
+    EXPECT_NE(t, kBaseStationId);
+  }
+}
+
+TEST(SimExtensions, RegistryListsNewProtocols) {
+  const auto names = protocol_names();
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "heed") != names.end());
+  EXPECT_TRUE(std::find(names.begin(), names.end(), "tl-leach") !=
+              names.end());
+}
+
+
+TEST(SimExtensions, IdleListeningDrainsAndIsLedgered) {
+  ExperimentConfig quiet = fast_config();
+  quiet.sim.mean_interarrival = 0.0;  // no traffic at all
+  quiet.protocol.hello_bits = 0.0;    // no control plane either
+  ExperimentConfig idle = quiet;
+  idle.sim.idle_listen_j_per_slot = 1e-4;
+  const auto a = run_replications("kmeans", quiet);
+  const auto b = run_replications("kmeans", idle);
+  EXPECT_DOUBLE_EQ(a[0].total_energy_consumed, 0.0);
+  // 40 nodes * 6 rounds * 10 slots * 1e-4 J.
+  EXPECT_NEAR(b[0].total_energy_consumed, 40 * 6 * 10 * 1e-4, 1e-9);
+  EXPECT_NEAR(b[0].energy.by_use(EnergyUse::kIdle),
+              b[0].total_energy_consumed, 1e-12);
+}
+
+TEST(SimExtensions, IdleListeningRespectsDeaths) {
+  ExperimentConfig cfg = fast_config();
+  cfg.sim.mean_interarrival = 0.0;
+  cfg.protocol.hello_bits = 0.0;
+  cfg.scenario.initial_energy = 25e-4;  // dies after 25 slots of idling
+  cfg.sim.idle_listen_j_per_slot = 1e-4;
+  cfg.sim.rounds = 10;
+  const auto results = run_replications("kmeans", cfg);
+  // Every battery fully drains, and drain stops at zero (no negatives).
+  EXPECT_NEAR(results[0].total_energy_consumed, 40 * 25e-4, 1e-9);
+  EXPECT_GE(results[0].first_death_round, 0);
+}
+
+}  // namespace
+}  // namespace qlec

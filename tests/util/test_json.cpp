@@ -1,0 +1,106 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  JsonWriter j;
+  j.begin_object();
+  j.end_object();
+  EXPECT_EQ(j.str(), "{}");
+  JsonWriter a;
+  a.begin_array();
+  a.end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("name");
+  j.value("qlec");
+  j.key("pdr");
+  j.value(0.5);
+  j.key("count");
+  j.value(42);
+  j.key("ok");
+  j.value(true);
+  j.key("missing");
+  j.null();
+  j.end_object();
+  EXPECT_EQ(j.str(),
+            "{\"name\":\"qlec\",\"pdr\":0.5,\"count\":42,\"ok\":true,"
+            "\"missing\":null}");
+}
+
+TEST(JsonWriter, ArrayCommas) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(1);
+  j.value(2);
+  j.value(3);
+  j.end_array();
+  EXPECT_EQ(j.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("rows");
+  j.begin_array();
+  j.begin_object();
+  j.key("x");
+  j.value(1);
+  j.end_object();
+  j.begin_object();
+  j.key("x");
+  j.value(2);
+  j.end_object();
+  j.end_array();
+  j.key("tail");
+  j.value("end");
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"rows\":[{\"x\":1},{\"x\":2}],\"tail\":\"end\"}");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriter, DoubleRoundTrips) {
+  JsonWriter j;
+  j.begin_array();
+  const double v = 0.1 + 0.2;
+  j.value(v);
+  j.end_array();
+  const std::string body = j.str().substr(1, j.str().size() - 2);
+  EXPECT_EQ(std::stod(body), v);
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(std::numeric_limits<double>::infinity());
+  j.value(std::numeric_limits<double>::quiet_NaN());
+  j.end_array();
+  EXPECT_EQ(j.str(), "[null,null]");
+}
+
+TEST(JsonWriter, NegativeAndLargeIntegers) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(static_cast<long long>(-7));
+  j.value(static_cast<unsigned long long>(1) << 62);
+  j.end_array();
+  EXPECT_EQ(j.str(), "[-7,4611686018427387904]");
+}
+
+}  // namespace
+}  // namespace qlec

@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log::level()) {}
+  ~LogLevelGuard() { log::set_level(saved_); }
+
+ private:
+  log::Level saved_;
+};
+
+TEST(Log, LevelThresholding) {
+  LogLevelGuard guard;
+  log::set_level(log::Level::kWarn);
+  EXPECT_FALSE(log::enabled(log::Level::kDebug));
+  EXPECT_FALSE(log::enabled(log::Level::kInfo));
+  EXPECT_TRUE(log::enabled(log::Level::kWarn));
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+}
+
+TEST(Log, OffDisablesEverything) {
+  LogLevelGuard guard;
+  log::set_level(log::Level::kOff);
+  EXPECT_FALSE(log::enabled(log::Level::kError));
+}
+
+TEST(Log, SetAndGetRoundTrip) {
+  LogLevelGuard guard;
+  log::set_level(log::Level::kDebug);
+  EXPECT_EQ(log::level(), log::Level::kDebug);
+  log::set_level(log::Level::kError);
+  EXPECT_EQ(log::level(), log::Level::kError);
+}
+
+TEST(Log, VariadicFormattingDoesNotCrash) {
+  LogLevelGuard guard;
+  log::set_level(log::Level::kOff);  // discard output
+  log::info("x=", 42, " y=", 3.14, " s=", std::string("str"));
+  log::debug("nothing");
+  log::warn();
+  log::error("e");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qlec

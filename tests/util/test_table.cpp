@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qlec {
+namespace {
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "22.0"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.0"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"k", "metric"});
+  t.add_row({"1", "10"});
+  t.add_row({"100", "2"});
+  const std::string out = t.render();
+  // Each line should have the same length (aligned columns).
+  std::size_t line_len = 0;
+  std::size_t start = 0;
+  bool first = true;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (first) {
+      line_len = len;
+      first = false;
+    } else {
+      EXPECT_EQ(len, line_len);
+    }
+    start = end + 1;
+  }
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-1.0, 0), "-1");
+}
+
+TEST(FmtSci, Format) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(FmtPm, CombinesMeanAndError) {
+  EXPECT_EQ(fmt_pm(1.5, 0.25, 2), "1.50 +/- 0.25");
+}
+
+}  // namespace
+}  // namespace qlec
