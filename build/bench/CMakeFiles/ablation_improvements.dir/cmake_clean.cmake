@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_improvements.dir/ablation_improvements.cpp.o"
+  "CMakeFiles/ablation_improvements.dir/ablation_improvements.cpp.o.d"
+  "ablation_improvements"
+  "ablation_improvements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_improvements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

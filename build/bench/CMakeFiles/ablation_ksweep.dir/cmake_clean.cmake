@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ksweep.dir/ablation_ksweep.cpp.o"
+  "CMakeFiles/ablation_ksweep.dir/ablation_ksweep.cpp.o.d"
+  "ablation_ksweep"
+  "ablation_ksweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ksweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

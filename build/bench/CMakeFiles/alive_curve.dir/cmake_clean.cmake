@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alive_curve.dir/alive_curve.cpp.o"
+  "CMakeFiles/alive_curve.dir/alive_curve.cpp.o.d"
+  "alive_curve"
+  "alive_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alive_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_all.dir/compare_all.cpp.o"
+  "CMakeFiles/compare_all.dir/compare_all.cpp.o.d"
+  "compare_all"
+  "compare_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_pdr.dir/fig3a_pdr.cpp.o"
+  "CMakeFiles/fig3a_pdr.dir/fig3a_pdr.cpp.o.d"
+  "fig3a_pdr"
+  "fig3a_pdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_pdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_energy.dir/fig3b_energy.cpp.o"
+  "CMakeFiles/fig3b_energy.dir/fig3b_energy.cpp.o.d"
+  "fig3b_energy"
+  "fig3b_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

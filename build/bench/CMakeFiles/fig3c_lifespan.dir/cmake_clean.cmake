@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_lifespan.dir/fig3c_lifespan.cpp.o"
+  "CMakeFiles/fig3c_lifespan.dir/fig3c_lifespan.cpp.o.d"
+  "fig3c_lifespan"
+  "fig3c_lifespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_lifespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

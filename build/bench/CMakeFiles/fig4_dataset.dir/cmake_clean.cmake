@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dataset.dir/fig4_dataset.cpp.o"
+  "CMakeFiles/fig4_dataset.dir/fig4_dataset.cpp.o.d"
+  "fig4_dataset"
+  "fig4_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

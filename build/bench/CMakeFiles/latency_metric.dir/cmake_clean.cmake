@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_metric.dir/latency_metric.cpp.o"
+  "CMakeFiles/latency_metric.dir/latency_metric.cpp.o.d"
+  "latency_metric"
+  "latency_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qelar_learning.dir/qelar_learning.cpp.o"
+  "CMakeFiles/qelar_learning.dir/qelar_learning.cpp.o.d"
+  "qelar_learning"
+  "qelar_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qelar_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

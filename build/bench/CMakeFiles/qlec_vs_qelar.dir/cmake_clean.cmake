@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_vs_qelar.dir/qlec_vs_qelar.cpp.o"
+  "CMakeFiles/qlec_vs_qelar.dir/qlec_vs_qelar.cpp.o.d"
+  "qlec_vs_qelar"
+  "qlec_vs_qelar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_vs_qelar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_okx.dir/runtime_okx.cpp.o"
+  "CMakeFiles/runtime_okx.dir/runtime_okx.cpp.o.d"
+  "runtime_okx"
+  "runtime_okx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_okx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

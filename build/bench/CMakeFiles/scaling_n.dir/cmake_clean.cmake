@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_n.dir/scaling_n.cpp.o"
+  "CMakeFiles/scaling_n.dir/scaling_n.cpp.o.d"
+  "scaling_n"
+  "scaling_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm1_kopt.dir/thm1_kopt.cpp.o"
+  "CMakeFiles/thm1_kopt.dir/thm1_kopt.cpp.o.d"
+  "thm1_kopt"
+  "thm1_kopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm1_kopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mountain_deployment.dir/mountain_deployment.cpp.o"
+  "CMakeFiles/mountain_deployment.dir/mountain_deployment.cpp.o.d"
+  "mountain_deployment"
+  "mountain_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mountain_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerplant_dataset.dir/powerplant_dataset.cpp.o"
+  "CMakeFiles/powerplant_dataset.dir/powerplant_dataset.cpp.o.d"
+  "powerplant_dataset"
+  "powerplant_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerplant_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlecsim.dir/qlecsim.cpp.o"
+  "CMakeFiles/qlecsim.dir/qlecsim.cpp.o.d"
+  "qlecsim"
+  "qlecsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlecsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/underwater_monitoring.dir/underwater_monitoring.cpp.o"
+  "CMakeFiles/underwater_monitoring.dir/underwater_monitoring.cpp.o.d"
+  "underwater_monitoring"
+  "underwater_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/underwater_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_plot.cpp" "src/CMakeFiles/qlec_analysis.dir/analysis/ascii_plot.cpp.o" "gcc" "src/CMakeFiles/qlec_analysis.dir/analysis/ascii_plot.cpp.o.d"
+  "/root/repo/src/analysis/heatmap.cpp" "src/CMakeFiles/qlec_analysis.dir/analysis/heatmap.cpp.o" "gcc" "src/CMakeFiles/qlec_analysis.dir/analysis/heatmap.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/qlec_analysis.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/qlec_analysis.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/analysis/spatial_stats.cpp" "src/CMakeFiles/qlec_analysis.dir/analysis/spatial_stats.cpp.o" "gcc" "src/CMakeFiles/qlec_analysis.dir/analysis/spatial_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

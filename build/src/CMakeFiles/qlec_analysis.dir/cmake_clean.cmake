@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_analysis.dir/analysis/ascii_plot.cpp.o"
+  "CMakeFiles/qlec_analysis.dir/analysis/ascii_plot.cpp.o.d"
+  "CMakeFiles/qlec_analysis.dir/analysis/heatmap.cpp.o"
+  "CMakeFiles/qlec_analysis.dir/analysis/heatmap.cpp.o.d"
+  "CMakeFiles/qlec_analysis.dir/analysis/report.cpp.o"
+  "CMakeFiles/qlec_analysis.dir/analysis/report.cpp.o.d"
+  "CMakeFiles/qlec_analysis.dir/analysis/spatial_stats.cpp.o"
+  "CMakeFiles/qlec_analysis.dir/analysis/spatial_stats.cpp.o.d"
+  "libqlec_analysis.a"
+  "libqlec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/deec.cpp" "src/CMakeFiles/qlec_cluster.dir/cluster/deec.cpp.o" "gcc" "src/CMakeFiles/qlec_cluster.dir/cluster/deec.cpp.o.d"
+  "/root/repo/src/cluster/fcm.cpp" "src/CMakeFiles/qlec_cluster.dir/cluster/fcm.cpp.o" "gcc" "src/CMakeFiles/qlec_cluster.dir/cluster/fcm.cpp.o.d"
+  "/root/repo/src/cluster/fcm_routing.cpp" "src/CMakeFiles/qlec_cluster.dir/cluster/fcm_routing.cpp.o" "gcc" "src/CMakeFiles/qlec_cluster.dir/cluster/fcm_routing.cpp.o.d"
+  "/root/repo/src/cluster/heed.cpp" "src/CMakeFiles/qlec_cluster.dir/cluster/heed.cpp.o" "gcc" "src/CMakeFiles/qlec_cluster.dir/cluster/heed.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/CMakeFiles/qlec_cluster.dir/cluster/kmeans.cpp.o" "gcc" "src/CMakeFiles/qlec_cluster.dir/cluster/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/leach.cpp" "src/CMakeFiles/qlec_cluster.dir/cluster/leach.cpp.o" "gcc" "src/CMakeFiles/qlec_cluster.dir/cluster/leach.cpp.o.d"
+  "/root/repo/src/cluster/tl_leach.cpp" "src/CMakeFiles/qlec_cluster.dir/cluster/tl_leach.cpp.o" "gcc" "src/CMakeFiles/qlec_cluster.dir/cluster/tl_leach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_cluster.dir/cluster/deec.cpp.o"
+  "CMakeFiles/qlec_cluster.dir/cluster/deec.cpp.o.d"
+  "CMakeFiles/qlec_cluster.dir/cluster/fcm.cpp.o"
+  "CMakeFiles/qlec_cluster.dir/cluster/fcm.cpp.o.d"
+  "CMakeFiles/qlec_cluster.dir/cluster/fcm_routing.cpp.o"
+  "CMakeFiles/qlec_cluster.dir/cluster/fcm_routing.cpp.o.d"
+  "CMakeFiles/qlec_cluster.dir/cluster/heed.cpp.o"
+  "CMakeFiles/qlec_cluster.dir/cluster/heed.cpp.o.d"
+  "CMakeFiles/qlec_cluster.dir/cluster/kmeans.cpp.o"
+  "CMakeFiles/qlec_cluster.dir/cluster/kmeans.cpp.o.d"
+  "CMakeFiles/qlec_cluster.dir/cluster/leach.cpp.o"
+  "CMakeFiles/qlec_cluster.dir/cluster/leach.cpp.o.d"
+  "CMakeFiles/qlec_cluster.dir/cluster/tl_leach.cpp.o"
+  "CMakeFiles/qlec_cluster.dir/cluster/tl_leach.cpp.o.d"
+  "libqlec_cluster.a"
+  "libqlec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/improved_deec.cpp" "src/CMakeFiles/qlec_core.dir/core/improved_deec.cpp.o" "gcc" "src/CMakeFiles/qlec_core.dir/core/improved_deec.cpp.o.d"
+  "/root/repo/src/core/optimal_k.cpp" "src/CMakeFiles/qlec_core.dir/core/optimal_k.cpp.o" "gcc" "src/CMakeFiles/qlec_core.dir/core/optimal_k.cpp.o.d"
+  "/root/repo/src/core/qlec.cpp" "src/CMakeFiles/qlec_core.dir/core/qlec.cpp.o" "gcc" "src/CMakeFiles/qlec_core.dir/core/qlec.cpp.o.d"
+  "/root/repo/src/core/qlec_routing.cpp" "src/CMakeFiles/qlec_core.dir/core/qlec_routing.cpp.o" "gcc" "src/CMakeFiles/qlec_core.dir/core/qlec_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

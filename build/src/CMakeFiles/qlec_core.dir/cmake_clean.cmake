@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_core.dir/core/improved_deec.cpp.o"
+  "CMakeFiles/qlec_core.dir/core/improved_deec.cpp.o.d"
+  "CMakeFiles/qlec_core.dir/core/optimal_k.cpp.o"
+  "CMakeFiles/qlec_core.dir/core/optimal_k.cpp.o.d"
+  "CMakeFiles/qlec_core.dir/core/qlec.cpp.o"
+  "CMakeFiles/qlec_core.dir/core/qlec.cpp.o.d"
+  "CMakeFiles/qlec_core.dir/core/qlec_routing.cpp.o"
+  "CMakeFiles/qlec_core.dir/core/qlec_routing.cpp.o.d"
+  "libqlec_core.a"
+  "libqlec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qlec_core.
+# This may be replaced when dependencies are built.

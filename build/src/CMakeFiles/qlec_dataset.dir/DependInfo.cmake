@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/power_plant.cpp" "src/CMakeFiles/qlec_dataset.dir/dataset/power_plant.cpp.o" "gcc" "src/CMakeFiles/qlec_dataset.dir/dataset/power_plant.cpp.o.d"
+  "/root/repo/src/dataset/synthetic_gppd.cpp" "src/CMakeFiles/qlec_dataset.dir/dataset/synthetic_gppd.cpp.o" "gcc" "src/CMakeFiles/qlec_dataset.dir/dataset/synthetic_gppd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

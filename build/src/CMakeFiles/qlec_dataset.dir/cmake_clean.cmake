@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_dataset.dir/dataset/power_plant.cpp.o"
+  "CMakeFiles/qlec_dataset.dir/dataset/power_plant.cpp.o.d"
+  "CMakeFiles/qlec_dataset.dir/dataset/synthetic_gppd.cpp.o"
+  "CMakeFiles/qlec_dataset.dir/dataset/synthetic_gppd.cpp.o.d"
+  "libqlec_dataset.a"
+  "libqlec_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

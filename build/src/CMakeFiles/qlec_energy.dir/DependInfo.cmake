@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/CMakeFiles/qlec_energy.dir/energy/battery.cpp.o" "gcc" "src/CMakeFiles/qlec_energy.dir/energy/battery.cpp.o.d"
+  "/root/repo/src/energy/ledger.cpp" "src/CMakeFiles/qlec_energy.dir/energy/ledger.cpp.o" "gcc" "src/CMakeFiles/qlec_energy.dir/energy/ledger.cpp.o.d"
+  "/root/repo/src/energy/radio_model.cpp" "src/CMakeFiles/qlec_energy.dir/energy/radio_model.cpp.o" "gcc" "src/CMakeFiles/qlec_energy.dir/energy/radio_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_energy.dir/energy/battery.cpp.o"
+  "CMakeFiles/qlec_energy.dir/energy/battery.cpp.o.d"
+  "CMakeFiles/qlec_energy.dir/energy/ledger.cpp.o"
+  "CMakeFiles/qlec_energy.dir/energy/ledger.cpp.o.d"
+  "CMakeFiles/qlec_energy.dir/energy/radio_model.cpp.o"
+  "CMakeFiles/qlec_energy.dir/energy/radio_model.cpp.o.d"
+  "libqlec_energy.a"
+  "libqlec_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

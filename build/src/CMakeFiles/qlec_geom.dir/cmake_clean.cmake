@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_geom.dir/geom/sampling.cpp.o"
+  "CMakeFiles/qlec_geom.dir/geom/sampling.cpp.o.d"
+  "CMakeFiles/qlec_geom.dir/geom/spatial_grid.cpp.o"
+  "CMakeFiles/qlec_geom.dir/geom/spatial_grid.cpp.o.d"
+  "libqlec_geom.a"
+  "libqlec_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

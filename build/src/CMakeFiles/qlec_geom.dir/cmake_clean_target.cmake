@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqlec_geom.a"
+)

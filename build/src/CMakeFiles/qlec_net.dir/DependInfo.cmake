@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/qlec_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/qlec_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/mobility.cpp" "src/CMakeFiles/qlec_net.dir/net/mobility.cpp.o" "gcc" "src/CMakeFiles/qlec_net.dir/net/mobility.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/qlec_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/qlec_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/network_io.cpp" "src/CMakeFiles/qlec_net.dir/net/network_io.cpp.o" "gcc" "src/CMakeFiles/qlec_net.dir/net/network_io.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/qlec_net.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/qlec_net.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/CMakeFiles/qlec_net.dir/net/traffic.cpp.o" "gcc" "src/CMakeFiles/qlec_net.dir/net/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_net.dir/net/link.cpp.o"
+  "CMakeFiles/qlec_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/qlec_net.dir/net/mobility.cpp.o"
+  "CMakeFiles/qlec_net.dir/net/mobility.cpp.o.d"
+  "CMakeFiles/qlec_net.dir/net/network.cpp.o"
+  "CMakeFiles/qlec_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/qlec_net.dir/net/network_io.cpp.o"
+  "CMakeFiles/qlec_net.dir/net/network_io.cpp.o.d"
+  "CMakeFiles/qlec_net.dir/net/queue.cpp.o"
+  "CMakeFiles/qlec_net.dir/net/queue.cpp.o.d"
+  "CMakeFiles/qlec_net.dir/net/traffic.cpp.o"
+  "CMakeFiles/qlec_net.dir/net/traffic.cpp.o.d"
+  "libqlec_net.a"
+  "libqlec_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

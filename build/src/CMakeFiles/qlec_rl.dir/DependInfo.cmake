@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/convergence.cpp" "src/CMakeFiles/qlec_rl.dir/rl/convergence.cpp.o" "gcc" "src/CMakeFiles/qlec_rl.dir/rl/convergence.cpp.o.d"
+  "/root/repo/src/rl/qlearning.cpp" "src/CMakeFiles/qlec_rl.dir/rl/qlearning.cpp.o" "gcc" "src/CMakeFiles/qlec_rl.dir/rl/qlearning.cpp.o.d"
+  "/root/repo/src/rl/qtable.cpp" "src/CMakeFiles/qlec_rl.dir/rl/qtable.cpp.o" "gcc" "src/CMakeFiles/qlec_rl.dir/rl/qtable.cpp.o.d"
+  "/root/repo/src/rl/value_iteration.cpp" "src/CMakeFiles/qlec_rl.dir/rl/value_iteration.cpp.o" "gcc" "src/CMakeFiles/qlec_rl.dir/rl/value_iteration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

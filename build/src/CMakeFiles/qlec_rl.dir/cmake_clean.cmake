@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_rl.dir/rl/convergence.cpp.o"
+  "CMakeFiles/qlec_rl.dir/rl/convergence.cpp.o.d"
+  "CMakeFiles/qlec_rl.dir/rl/qlearning.cpp.o"
+  "CMakeFiles/qlec_rl.dir/rl/qlearning.cpp.o.d"
+  "CMakeFiles/qlec_rl.dir/rl/qtable.cpp.o"
+  "CMakeFiles/qlec_rl.dir/rl/qtable.cpp.o.d"
+  "CMakeFiles/qlec_rl.dir/rl/value_iteration.cpp.o"
+  "CMakeFiles/qlec_rl.dir/rl/value_iteration.cpp.o.d"
+  "libqlec_rl.a"
+  "libqlec_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_routing.dir/routing/graph.cpp.o"
+  "CMakeFiles/qlec_routing.dir/routing/graph.cpp.o.d"
+  "CMakeFiles/qlec_routing.dir/routing/qelar.cpp.o"
+  "CMakeFiles/qlec_routing.dir/routing/qelar.cpp.o.d"
+  "libqlec_routing.a"
+  "libqlec_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/qlec_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/qlec_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/protocols/deec_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/deec_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/deec_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/direct_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/direct_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/direct_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/fcm_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/fcm_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/fcm_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/heed_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/heed_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/heed_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/ideec_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/ideec_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/ideec_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/kmeans_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/kmeans_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/kmeans_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/leach_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/leach_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/leach_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/qelar_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/qelar_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/qelar_protocol.cpp.o.d"
+  "/root/repo/src/sim/protocols/registry.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/registry.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/registry.cpp.o.d"
+  "/root/repo/src/sim/protocols/tl_leach_protocol.cpp" "src/CMakeFiles/qlec_sim.dir/sim/protocols/tl_leach_protocol.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/protocols/tl_leach_protocol.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/qlec_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/qlec_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/qlec_sim.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

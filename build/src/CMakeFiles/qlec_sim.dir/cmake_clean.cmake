@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/deec_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/deec_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/direct_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/direct_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/fcm_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/fcm_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/heed_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/heed_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/ideec_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/ideec_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/kmeans_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/kmeans_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/leach_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/leach_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/qelar_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/qelar_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/registry.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/registry.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/tl_leach_protocol.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/protocols/tl_leach_protocol.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/qlec_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/qlec_sim.dir/sim/simulator.cpp.o.d"
+  "libqlec_sim.a"
+  "libqlec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

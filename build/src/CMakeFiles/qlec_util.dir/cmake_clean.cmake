@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlec_util.dir/util/cli.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/qlec_util.dir/util/csv.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/qlec_util.dir/util/json.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/json.cpp.o.d"
+  "CMakeFiles/qlec_util.dir/util/log.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/qlec_util.dir/util/rng.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/qlec_util.dir/util/stats.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/qlec_util.dir/util/table.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/qlec_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/qlec_util.dir/util/thread_pool.cpp.o.d"
+  "libqlec_util.a"
+  "libqlec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_deec.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_deec.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_deec.cpp.o.d"
+  "/root/repo/tests/cluster/test_fcm.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_fcm.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_fcm.cpp.o.d"
+  "/root/repo/tests/cluster/test_fcm_routing.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_fcm_routing.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_fcm_routing.cpp.o.d"
+  "/root/repo/tests/cluster/test_heed.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_heed.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_heed.cpp.o.d"
+  "/root/repo/tests/cluster/test_kmeans.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_kmeans.cpp.o.d"
+  "/root/repo/tests/cluster/test_leach.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_leach.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_leach.cpp.o.d"
+  "/root/repo/tests/cluster/test_tl_leach.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_tl_leach.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_tl_leach.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_deec.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_deec.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_fcm.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_fcm.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_fcm_routing.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_fcm_routing.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_heed.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_heed.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_kmeans.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_kmeans.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_leach.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_leach.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_tl_leach.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_tl_leach.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

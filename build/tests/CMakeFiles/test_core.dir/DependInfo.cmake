@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_improved_deec.cpp" "tests/CMakeFiles/test_core.dir/core/test_improved_deec.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_improved_deec.cpp.o.d"
+  "/root/repo/tests/core/test_optimal_k.cpp" "tests/CMakeFiles/test_core.dir/core/test_optimal_k.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_optimal_k.cpp.o.d"
+  "/root/repo/tests/core/test_qlec_mdp_validation.cpp" "tests/CMakeFiles/test_core.dir/core/test_qlec_mdp_validation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_qlec_mdp_validation.cpp.o.d"
+  "/root/repo/tests/core/test_qlec_protocol.cpp" "tests/CMakeFiles/test_core.dir/core/test_qlec_protocol.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_qlec_protocol.cpp.o.d"
+  "/root/repo/tests/core/test_qlec_routing.cpp" "tests/CMakeFiles/test_core.dir/core/test_qlec_routing.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_qlec_routing.cpp.o.d"
+  "/root/repo/tests/core/test_rotation_and_learning.cpp" "tests/CMakeFiles/test_core.dir/core/test_rotation_and_learning.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rotation_and_learning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_improved_deec.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_improved_deec.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_optimal_k.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_optimal_k.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_qlec_mdp_validation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_qlec_mdp_validation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_qlec_protocol.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_qlec_protocol.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_qlec_routing.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_qlec_routing.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rotation_and_learning.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rotation_and_learning.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_link.cpp" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_link.cpp.o.d"
+  "/root/repo/tests/net/test_mobility.cpp" "tests/CMakeFiles/test_net.dir/net/test_mobility.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_mobility.cpp.o.d"
+  "/root/repo/tests/net/test_network.cpp" "tests/CMakeFiles/test_net.dir/net/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_network.cpp.o.d"
+  "/root/repo/tests/net/test_network_io.cpp" "tests/CMakeFiles/test_net.dir/net/test_network_io.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_network_io.cpp.o.d"
+  "/root/repo/tests/net/test_queue.cpp" "tests/CMakeFiles/test_net.dir/net/test_queue.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_queue.cpp.o.d"
+  "/root/repo/tests/net/test_traffic.cpp" "tests/CMakeFiles/test_net.dir/net/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_link.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_link.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_mobility.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_mobility.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_network.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_network.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_network_io.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_network_io.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_queue.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_queue.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_traffic.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_traffic.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

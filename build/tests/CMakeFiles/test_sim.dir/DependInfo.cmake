@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_experiment.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "/root/repo/tests/sim/test_flat_routing.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_flat_routing.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_flat_routing.cpp.o.d"
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_protocols.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_protocols.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_protocols.cpp.o.d"
+  "/root/repo/tests/sim/test_scenario.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_extensions.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sim_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sim_extensions.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/qlec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/qlec_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

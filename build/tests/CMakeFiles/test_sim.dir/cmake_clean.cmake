@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_experiment.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_flat_routing.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_flat_routing.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_metrics.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_protocols.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_protocols.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scenario.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_sim_extensions.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_sim_extensions.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
