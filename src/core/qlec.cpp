@@ -50,14 +50,14 @@ void QlecProtocol::on_round_start(Network& net, int round, Rng& rng,
     for (const int h : heads_) {
       SensorNode& head = net.node(h);
       const double tx = radio_.tx_energy(params_.hello_bits, d_c_);
-      ledger.charge(EnergyUse::kControl, head.battery.consume(tx));
+      ledger.charge(EnergyUse::kControl, head.battery.consume(tx), h);
       for (const std::size_t j : grid.query(head.pos, d_c_)) {
         const int jid = static_cast<int>(j);
         if (jid == h) continue;
         SensorNode& nbr = net.node(jid);
         if (!nbr.battery.alive(death_line_)) continue;
         const double rx = radio_.rx_energy(params_.hello_bits);
-        ledger.charge(EnergyUse::kControl, nbr.battery.consume(rx));
+        ledger.charge(EnergyUse::kControl, nbr.battery.consume(rx), jid);
       }
     }
   }

@@ -18,8 +18,11 @@ double Battery::consume(double joules) noexcept {
   return drawn;
 }
 
-void Battery::recharge(double joules) noexcept {
-  residual_ = std::min(residual_ + std::max(joules, 0.0), initial_);
+double Battery::recharge(double joules) noexcept {
+  const double restored =
+      std::min(std::max(joules, 0.0), initial_ - residual_);
+  residual_ += restored;
+  return restored;
 }
 
 }  // namespace qlec

@@ -24,7 +24,9 @@ class Battery {
   double consume(double joules) noexcept;
 
   /// Restores `joules` up to the initial capacity (harvesting scenarios).
-  void recharge(double joules) noexcept;
+  /// Returns the amount actually restored (capped at the headroom), so
+  /// audited runs can balance the energy books exactly.
+  double recharge(double joules) noexcept;
 
   /// True while residual > death_line.
   bool alive(double death_line) const noexcept {

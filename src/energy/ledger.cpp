@@ -21,9 +21,32 @@ void EnergyLedger::charge(EnergyUse use, double joules) noexcept {
   buckets_[static_cast<int>(use)] += std::max(joules, 0.0);
 }
 
+void EnergyLedger::charge(EnergyUse use, double joules, int node) noexcept {
+  joules = std::max(joules, 0.0);
+  buckets_[static_cast<int>(use)] += joules;
+  if (node >= 0 && static_cast<std::size_t>(node) < per_node_.size())
+    per_node_[static_cast<std::size_t>(node)] += joules;
+}
+
 void EnergyLedger::merge(const EnergyLedger& other) noexcept {
   for (int i = 0; i < static_cast<int>(EnergyUse::kCount_); ++i)
     buckets_[i] += other.buckets_[i];
+  if (!other.per_node_.empty()) {
+    if (per_node_.size() < other.per_node_.size())
+      per_node_.resize(other.per_node_.size(), 0.0);
+    for (std::size_t i = 0; i < other.per_node_.size(); ++i)
+      per_node_[i] += other.per_node_[i];
+  }
+}
+
+void EnergyLedger::enable_per_node(std::size_t n) {
+  if (per_node_.size() < n) per_node_.resize(n, 0.0);
+}
+
+double EnergyLedger::node_total(int node) const noexcept {
+  if (node < 0 || static_cast<std::size_t>(node) >= per_node_.size())
+    return 0.0;
+  return per_node_[static_cast<std::size_t>(node)];
 }
 
 double EnergyLedger::total() const noexcept {

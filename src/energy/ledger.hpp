@@ -1,8 +1,12 @@
 // Network-wide energy accounting, broken down by activity so benches can
-// report where the joules went (Fig. 3(b) and the ablations).
+// report where the joules went (Fig. 3(b) and the ablations). Optionally
+// also tracks a per-node total so the SimAuditor can reconcile every
+// node's battery delta against its ledger entries.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 namespace qlec {
 
@@ -20,7 +24,20 @@ const char* energy_use_name(EnergyUse u);
 class EnergyLedger {
  public:
   void charge(EnergyUse use, double joules) noexcept;
+  /// Node-attributed charge: also accumulates into the per-node total when
+  /// per-node tracking is enabled (and `node` is a valid id). All simulator
+  /// and protocol charge sites attribute, so per-node totals are exhaustive.
+  void charge(EnergyUse use, double joules, int node) noexcept;
   void merge(const EnergyLedger& other) noexcept;
+
+  /// Allocates the per-node accumulator for ids [0, n). Off by default —
+  /// the SimAuditor turns it on for audited runs.
+  void enable_per_node(std::size_t n);
+  bool per_node_enabled() const noexcept { return !per_node_.empty(); }
+  /// Joules attributed to `node` (0 when tracking is disabled or the id is
+  /// out of range).
+  double node_total(int node) const noexcept;
+  const std::vector<double>& per_node() const noexcept { return per_node_; }
 
   double total() const noexcept;
   double by_use(EnergyUse use) const noexcept;
@@ -32,6 +49,7 @@ class EnergyLedger {
 
  private:
   double buckets_[static_cast<int>(EnergyUse::kCount_)] = {};
+  std::vector<double> per_node_;
 };
 
 }  // namespace qlec

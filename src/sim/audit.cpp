@@ -1,0 +1,235 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "energy/ledger.hpp"
+#include "net/network.hpp"
+#include "sim/metrics.hpp"
+
+namespace qlec {
+namespace {
+
+/// Tolerance for floating-point energy books: the ledger and the batteries
+/// accumulate the same drawn amounts in different orders, so they can
+/// disagree by a few ulps per charge.
+double energy_eps(double magnitude) {
+  return 1e-9 * std::max(1.0, std::fabs(magnitude));
+}
+
+std::string fmt(const char* format, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, format, a, b);
+  return buf;
+}
+
+}  // namespace
+
+const char* audit_kind_name(AuditKind k) {
+  switch (k) {
+    case AuditKind::kEnergyConservation: return "energy-conservation";
+    case AuditKind::kEnergyBounds: return "energy-bounds";
+    case AuditKind::kPacketConservation: return "packet-conservation";
+    case AuditKind::kStructural: return "structural";
+  }
+  return "?";
+}
+
+std::string AuditViolation::to_string() const {
+  std::string out = "round ";
+  out += round < 0 ? std::string("end") : std::to_string(round);
+  if (node >= 0) {
+    out += " node ";
+    out += std::to_string(node);
+  }
+  out += " [";
+  out += audit_kind_name(kind);
+  out += "]: ";
+  out += message;
+  return out;
+}
+
+std::string AuditReport::summary() const {
+  if (ok()) {
+    return "audit ok (" + std::to_string(rounds_audited) + " rounds" +
+           (finalized ? ", finalized" : "") + ")";
+  }
+  std::string out =
+      "audit FAILED: " + std::to_string(violations.size()) + " violation(s)";
+  const std::size_t shown = std::min<std::size_t>(violations.size(), 5);
+  for (std::size_t i = 0; i < shown; ++i)
+    out += "\n  " + violations[i].to_string();
+  if (violations.size() > shown)
+    out += "\n  ... and " + std::to_string(violations.size() - shown) +
+           " more";
+  return out;
+}
+
+SimAuditor::SimAuditor(const Network& net, double death_line,
+                       bool flat_routing, bool harvest_enabled,
+                       bool throw_on_violation)
+    : death_line_(death_line),
+      flat_(flat_routing),
+      harvest_enabled_(harvest_enabled),
+      throw_(throw_on_violation),
+      harvested_per_node_(net.size(), 0.0) {}
+
+void SimAuditor::violate(AuditKind kind, int round, int node,
+                         std::string message) {
+  AuditViolation v{kind, round, node, std::move(message)};
+  if (throw_) throw AuditError(v);
+  report_.violations.push_back(std::move(v));
+}
+
+void SimAuditor::begin_round(const Network& net, int round,
+                             const EnergyLedger& ledger) {
+  round_ = round;
+  residual_at_round_start_ = net.total_residual_energy();
+  ledger_at_round_start_ = ledger.total();
+  harvested_this_round_ = 0.0;
+  node_residual_at_round_start_.resize(net.size());
+  for (const SensorNode& n : net.nodes())
+    node_residual_at_round_start_[static_cast<std::size_t>(n.id)] =
+        n.battery.residual();
+}
+
+void SimAuditor::on_heads_elected(const Network& net,
+                                  const std::vector<int>& heads) {
+  // Structural: elected heads must be alive, and the head count can never
+  // exceed the alive population. (Election energy has already been spent,
+  // so "alive" here uses the post-election residuals — a head that drained
+  // itself to death announcing is exactly the bug we want to surface.)
+  const int round = round_;
+  const std::size_t alive = net.alive_count(death_line_);
+  if (heads.size() > alive) {
+    violate(AuditKind::kStructural, round, -1,
+            "elected " + std::to_string(heads.size()) + " heads with only " +
+                std::to_string(alive) + " nodes above the death line");
+  }
+  for (const int h : heads) {
+    if (!net.node(h).is_head)
+      violate(AuditKind::kStructural, round, h,
+              "listed as head but is_head flag is clear");
+    // Alive when the round started: the election-phase HELLO broadcast may
+    // legitimately drain a head below the line, but electing a node that
+    // was already dead is a protocol bug.
+    if (node_residual_at_round_start_[static_cast<std::size_t>(h)] <=
+        death_line_)
+      violate(AuditKind::kStructural, round, h,
+              "elected head was already below the death line at round "
+              "start");
+  }
+}
+
+void SimAuditor::on_harvest(int node, double joules) noexcept {
+  harvested_this_round_ += joules;
+  if (node >= 0 &&
+      static_cast<std::size_t>(node) < harvested_per_node_.size())
+    harvested_per_node_[static_cast<std::size_t>(node)] += joules;
+}
+
+void SimAuditor::on_relay_accept(const Network& net, int target,
+                                 bool alive_at_attempt) {
+  const SensorNode& t = net.node(target);
+  if (!flat_ && !t.is_head)
+    violate(AuditKind::kStructural, round_, target,
+            "packet cached at a node that is not a cluster head");
+  if (!alive_at_attempt)
+    violate(AuditKind::kStructural, round_, target,
+            "packet cached at a node that was below the death line when "
+            "the transmission was attempted");
+}
+
+void SimAuditor::check_energy_bounds(const Network& net, int round) {
+  for (const SensorNode& n : net.nodes()) {
+    const double residual = n.battery.residual();
+    const double cap = n.battery.initial();
+    if (residual < -energy_eps(cap))
+      violate(AuditKind::kEnergyBounds, round, n.id,
+              fmt("residual %.12g J is negative", residual, 0.0));
+    if (residual > cap + energy_eps(cap))
+      violate(AuditKind::kEnergyBounds, round, n.id,
+              fmt("residual %.12g J exceeds capacity %.12g J", residual,
+                  cap));
+  }
+}
+
+void SimAuditor::check_per_node_ledger(const Network& net,
+                                       const EnergyLedger& ledger,
+                                       int round) {
+  if (!ledger.per_node_enabled()) return;
+  for (const SensorNode& n : net.nodes()) {
+    // Cumulative drain = (initial - residual) + everything harvested back.
+    const double drained =
+        n.battery.consumed() +
+        harvested_per_node_[static_cast<std::size_t>(n.id)];
+    const double charged = ledger.node_total(n.id);
+    if (std::fabs(drained - charged) > energy_eps(drained))
+      violate(AuditKind::kEnergyConservation, round, n.id,
+              fmt("battery delta %.12g J != ledger entries %.12g J",
+                  drained, charged));
+  }
+}
+
+void SimAuditor::check_packet_conservation(const SimResult& partial,
+                                           std::uint64_t in_flight,
+                                           int round) {
+  const std::uint64_t accounted = partial.delivered + partial.lost_link +
+                                  partial.lost_queue + partial.lost_dead +
+                                  in_flight;
+  if (partial.generated != accounted) {
+    violate(AuditKind::kPacketConservation, round, -1,
+            "generated " + std::to_string(partial.generated) +
+                " != delivered " + std::to_string(partial.delivered) +
+                " + lost_link " + std::to_string(partial.lost_link) +
+                " + lost_queue " + std::to_string(partial.lost_queue) +
+                " + lost_dead " + std::to_string(partial.lost_dead) +
+                " + in_flight " + std::to_string(in_flight));
+  }
+}
+
+void SimAuditor::end_round(const Network& net, const EnergyLedger& ledger,
+                           const SimResult& partial,
+                           std::uint64_t in_flight) {
+  // (a) network-wide energy conservation for this round: what left the
+  // batteries (harvest-corrected) must equal what was charged to the
+  // ledger. Both sides record the post-clamp amounts, so this is exact up
+  // to summation order.
+  const double residual_now = net.total_residual_energy();
+  const double drained =
+      residual_at_round_start_ - residual_now + harvested_this_round_;
+  const double charged = ledger.total() - ledger_at_round_start_;
+  if (std::fabs(drained - charged) >
+      energy_eps(std::max(drained, charged)))
+    violate(AuditKind::kEnergyConservation, round_, -1,
+            fmt("round battery drain %.12g J != ledger charges %.12g J",
+                drained, charged));
+
+  check_energy_bounds(net, round_);
+  check_per_node_ledger(net, ledger, round_);
+  check_packet_conservation(partial, in_flight, round_);
+
+  // (c) lifespan monotonicity: without harvesting a dead node stays dead.
+  const std::size_t alive_now = net.alive_count(death_line_);
+  if (!harvest_enabled_ && have_prev_alive_ && alive_now > prev_alive_)
+    violate(AuditKind::kStructural, round_, -1,
+            "alive count rose from " + std::to_string(prev_alive_) +
+                " to " + std::to_string(alive_now) +
+                " without harvesting");
+  prev_alive_ = alive_now;
+  have_prev_alive_ = true;
+
+  ++report_.rounds_audited;
+}
+
+void SimAuditor::finalize(const Network& net, const EnergyLedger& ledger,
+                          const SimResult& result) {
+  // Everything buffered has been flushed to a terminal counter by now.
+  check_packet_conservation(result, 0, -1);
+  check_energy_bounds(net, -1);
+  check_per_node_ledger(net, ledger, -1);
+  report_.finalized = true;
+}
+
+}  // namespace qlec

@@ -1,0 +1,145 @@
+// SimAuditor: runtime invariant checking for the round-based simulator.
+//
+// The whole evaluation (Fig. 3-4, the Theorem 1 sweeps) rests on the
+// simulator being conservation-correct, so audited runs verify, every round
+// and at end-of-run:
+//
+//   (a) energy conservation — the joules drained from batteries in a round
+//       equal the EnergyLedger entries charged in that round (network-wide,
+//       harvest-corrected), every node's cumulative ledger total matches its
+//       battery delta, and no node's residual is negative or above capacity;
+//   (b) packet conservation — generated == delivered + dropped (link loss,
+//       queue overflow, dead holder) + still-in-flight, per round and
+//       cumulatively;
+//   (c) structural invariants — elected heads are alive, head counts never
+//       exceed the alive population, packets are only cached at an alive
+//       head (or alive relay in flat-routing mode), and the alive count is
+//       non-increasing when no energy harvesting is configured.
+//
+// Violations carry round/node context and either accumulate into an
+// AuditReport on the SimResult or throw an AuditError, per configuration.
+// The auditor is strictly observational: it never touches the Rng or the
+// protocol, so an audited run produces the exact same trace as an
+// unaudited one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qlec {
+
+class Network;
+class EnergyLedger;
+struct SimResult;
+
+enum class AuditKind : int {
+  kEnergyConservation,  ///< battery drain != ledger entries
+  kEnergyBounds,        ///< residual < 0 or > capacity
+  kPacketConservation,  ///< generated != delivered + lost + in-flight
+  kStructural,          ///< dead head, bad relay target, alive count grew
+};
+
+const char* audit_kind_name(AuditKind k);
+
+struct AuditViolation {
+  AuditKind kind = AuditKind::kStructural;
+  int round = -1;  ///< -1 = end-of-run check
+  int node = -1;   ///< -1 = network-wide check
+  std::string message;
+
+  /// "round 3 node 17 [energy-bounds]: ..." one-liner.
+  std::string to_string() const;
+};
+
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  int rounds_audited = 0;
+  bool finalized = false;
+
+  bool ok() const noexcept { return violations.empty(); }
+  /// Human-readable digest: "audit ok (N rounds)" or the first few
+  /// violations plus a count.
+  std::string summary() const;
+};
+
+/// Thrown on the first violation when SimConfig::audit_throw is set.
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(const AuditViolation& v)
+      : std::runtime_error(v.to_string()), violation(v) {}
+  AuditViolation violation;
+};
+
+class SimAuditor {
+ public:
+  /// `death_line`: the SimConfig death line (alive == residual above it).
+  /// `flat_routing`: packets relay node-to-node (no head structure to
+  /// check). `harvest_enabled`: residual/alive counts may legitimately
+  /// rise. `throw_on_violation`: raise AuditError instead of accumulating.
+  SimAuditor(const Network& net, double death_line, bool flat_routing,
+             bool harvest_enabled, bool throw_on_violation);
+
+  /// Called at the top of every round, before mobility and head election,
+  /// to snapshot the energy books for this round's conservation window.
+  void begin_round(const Network& net, int round,
+                   const EnergyLedger& ledger);
+
+  /// Called after head election with the elected set (structural checks).
+  /// A head may legitimately be below the death line HERE if its own HELLO
+  /// broadcast drained it — what is checked is that it was alive when the
+  /// round started, i.e. the protocol never elects an already-dead node.
+  void on_heads_elected(const Network& net, const std::vector<int>& heads);
+
+  /// Reports the joules actually restored to `node` by harvesting.
+  void on_harvest(int node, double joules) noexcept;
+
+  /// A data packet was accepted into `target`'s cache this round (target is
+  /// never the base station — BS deliveries are terminal).
+  /// `alive_at_attempt` is the aliveness the simulator verified before the
+  /// transmission; the reception charge itself may have since pushed the
+  /// target below the death line, which is legal.
+  void on_relay_accept(const Network& net, int target,
+                       bool alive_at_attempt);
+
+  /// Called once per round after uplinks/harvest/on_round_end, with the
+  /// partially filled result and the number of packets still buffered
+  /// inside the simulator (head caches + carryover).
+  void end_round(const Network& net, const EnergyLedger& ledger,
+                 const SimResult& partial, std::uint64_t in_flight);
+
+  /// End-of-run checks: cumulative packet conservation with everything
+  /// flushed, cumulative per-node energy reconciliation.
+  void finalize(const Network& net, const EnergyLedger& ledger,
+                const SimResult& result);
+
+  const AuditReport& report() const noexcept { return report_; }
+
+ private:
+  void violate(AuditKind kind, int round, int node, std::string message);
+  void check_energy_bounds(const Network& net, int round);
+  void check_per_node_ledger(const Network& net, const EnergyLedger& ledger,
+                             int round);
+  void check_packet_conservation(const SimResult& partial,
+                                 std::uint64_t in_flight, int round);
+
+  double death_line_ = 0.0;
+  bool flat_ = false;
+  bool harvest_enabled_ = false;
+  bool throw_ = false;
+
+  int round_ = -1;
+  double residual_at_round_start_ = 0.0;
+  std::vector<double> node_residual_at_round_start_;
+  double ledger_at_round_start_ = 0.0;
+  double harvested_this_round_ = 0.0;
+  std::vector<double> harvested_per_node_;  ///< cumulative, indexed by id
+  std::size_t prev_alive_ = 0;
+  bool have_prev_alive_ = false;
+
+  AuditReport report_;
+};
+
+}  // namespace qlec

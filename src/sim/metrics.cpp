@@ -1,5 +1,7 @@
 #include "sim/metrics.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "util/csv.hpp"
@@ -20,6 +22,35 @@ std::string trace_to_csv(const std::vector<RoundStats>& trace) {
                        std::to_string(r.delivered)});
   }
   return out.str();
+}
+
+std::uint64_t trace_digest(const std::vector<RoundStats>& trace) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;  // FNV prime
+    }
+  };
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  for (const RoundStats& r : trace) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(r.round)));
+    mix(static_cast<std::uint64_t>(r.alive));
+    mix(static_cast<std::uint64_t>(r.heads));
+    std::uint64_t bits;
+    std::memcpy(&bits, &r.total_residual, sizeof bits);
+    mix(bits);
+    mix(r.generated);
+    mix(r.delivered);
+  }
+  return h;
+}
+
+std::string trace_digest_hex(const std::vector<RoundStats>& trace) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(trace_digest(trace)));
+  return buf;
 }
 
 double SimResult::pdr() const noexcept {

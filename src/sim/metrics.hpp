@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "energy/ledger.hpp"
+#include "sim/audit.hpp"
 #include "util/stats.hpp"
 
 namespace qlec {
@@ -60,7 +61,21 @@ struct SimResult {
   /// One entry per completed round when SimConfig::record_trace is set;
   /// empty otherwise.
   std::vector<RoundStats> trace;
+
+  /// Invariant-check outcome when SimConfig::audit is set (rounds_audited
+  /// == 0 otherwise). See sim/audit.hpp for what is verified.
+  AuditReport audit;
 };
+
+/// Canonical 64-bit FNV-1a digest of a RoundStats trace. Hashes every field
+/// (doubles by bit pattern) in little-endian byte order, so the digest is
+/// stable across runs, thread counts, and platforms with IEEE-754 doubles —
+/// the foundation of the golden-trace replay harness in tests/golden/.
+std::uint64_t trace_digest(const std::vector<RoundStats>& trace) noexcept;
+
+/// `trace_digest` formatted as 16 lowercase hex digits (the on-disk golden
+/// format).
+std::string trace_digest_hex(const std::vector<RoundStats>& trace);
 
 /// CSV export of a trace: header `round,alive,heads,residual_j,generated,
 /// delivered` plus one row per round.

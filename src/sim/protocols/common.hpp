@@ -42,7 +42,8 @@ inline void charge_hello(Network& net, const std::vector<int>& heads,
   for (const int h : heads) {
     ledger.charge(EnergyUse::kControl,
                   net.node(h).battery.consume(
-                      radio.tx_energy(hello_bits, radius)));
+                      radio.tx_energy(hello_bits, radius)),
+                  h);
   }
   for (const SensorNode& n : net.nodes()) {
     const int a = assignment[static_cast<std::size_t>(n.id)];
@@ -50,7 +51,8 @@ inline void charge_hello(Network& net, const std::vector<int>& heads,
     if (!n.battery.alive(death_line)) continue;
     ledger.charge(EnergyUse::kControl,
                   net.node(n.id).battery.consume(
-                      radio.rx_energy(hello_bits)));
+                      radio.rx_energy(hello_bits)),
+                  n.id);
   }
 }
 

@@ -1,12 +1,14 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "energy/radio_model.hpp"
 #include "net/queue.hpp"
 #include "net/traffic.hpp"
+#include "sim/audit.hpp"
 
 namespace qlec {
 namespace {
@@ -31,6 +33,11 @@ class SimRun {
         mobility_(cfg.mobility, net.size()),
         flat_(protocol.flat_routing()) {
     result_.protocol = protocol.name();
+    if (cfg.audit) {
+      result_.energy.enable_per_node(net.size());
+      auditor_.emplace(net, cfg.death_line, flat_,
+                       cfg.harvest_per_round > 0.0, cfg.audit_throw);
+    }
   }
 
   SimResult run();
@@ -41,7 +48,7 @@ class SimRun {
   }
 
   void charge(int id, EnergyUse use, double joules) {
-    result_.energy.charge(use, net_.node(id).battery.consume(joules));
+    result_.energy.charge(use, net_.node(id).battery.consume(joules), id);
   }
 
   /// Member data path: route + transmit (with retries) + enqueue at a head
@@ -71,6 +78,7 @@ class SimRun {
   MobilityModel mobility_;
   SimResult result_;
 
+  std::optional<SimAuditor> auditor_;  // engaged when cfg.audit
   std::unordered_map<int, PacketQueue> queues_;  // per head (or per node
                                                  // in flat-routing mode)
   std::unordered_map<int, HeadBuffer> fused_;    // per current head
@@ -124,7 +132,11 @@ void SimRun::deliver_from(int src, Packet p) {
     }
     protocol_.on_tx_result(net_, src, target, ack);
     if (ack) {
-      if (target == kBaseStationId) record_delivery(p, global_slot_);
+      if (target == kBaseStationId) {
+        record_delivery(p, global_slot_);
+      } else if (auditor_) {
+        auditor_->on_relay_accept(net_, target, target_up);
+      }
       return;  // delivered to BS or safely cached at a head
     }
     last_failure_was_overflow = link_ok;
@@ -150,10 +162,11 @@ void SimRun::deliver_aggregate(int head, HeadBuffer buf) {
     }
     const int target = protocol_.uplink_target(net_, holder, rng_);
     bool success = false;
+    bool target_up = false;
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
       const double d = net_.dist(holder, target);
       charge(holder, EnergyUse::kTransmit, radio_.tx_energy(buf.bits, d));
-      const bool target_up = target == kBaseStationId || alive(target);
+      target_up = target == kBaseStationId || alive(target);
       success = target_up && (target == kBaseStationId
                                   ? cfg_.link.attempt_bs(d, rng_)
                                   : cfg_.link.attempt(d, rng_));
@@ -184,6 +197,7 @@ void SimRun::deliver_aggregate(int head, HeadBuffer buf) {
       result_.lost_queue += buf.packets.size();
       return;
     }
+    if (auditor_) auditor_->on_relay_accept(net_, target, target_up);
     holder = target;
     ++relay_hops;
   }
@@ -193,10 +207,12 @@ void SimRun::deliver_aggregate(int head, HeadBuffer buf) {
 SimResult SimRun::run() {
   const std::size_t n = net_.size();
   for (int round = 0; round < cfg_.rounds; ++round) {
+    if (auditor_) auditor_->begin_round(net_, round, result_.energy);
     mobility_.step(net_, cfg_.death_line, rng_);
     protocol_.on_round_start(net_, round, rng_, result_.energy);
     const std::vector<int> heads = net_.head_ids();
     result_.heads_per_round.add(static_cast<double>(heads.size()));
+    if (auditor_) auditor_->on_heads_elected(net_, heads);
 
     if (flat_) {
       // Flat routing: every node owns a persistent relay buffer (created
@@ -280,7 +296,7 @@ SimResult SimRun::run() {
           if (!n.battery.alive(cfg_.death_line)) continue;
           result_.energy.charge(
               EnergyUse::kIdle,
-              n.battery.consume(cfg_.idle_listen_j_per_slot));
+              n.battery.consume(cfg_.idle_listen_j_per_slot), n.id);
         }
       }
       ++global_slot_;
@@ -306,13 +322,24 @@ SimResult SimRun::run() {
     }
 
     if (cfg_.harvest_per_round > 0.0) {
-      for (SensorNode& n : net_.nodes())
-        if (n.battery.alive(cfg_.death_line))
-          n.battery.recharge(cfg_.harvest_per_round);
+      for (SensorNode& n : net_.nodes()) {
+        if (!n.battery.alive(cfg_.death_line)) continue;
+        const double restored = n.battery.recharge(cfg_.harvest_per_round);
+        if (auditor_) auditor_->on_harvest(n.id, restored);
+      }
     }
 
     protocol_.on_round_end(net_, round);
     ++result_.rounds_completed;
+
+    if (auditor_) {
+      std::uint64_t in_flight = carryover_.size();
+      for (const auto& [id, q] : queues_) {
+        (void)id;
+        in_flight += q.size();
+      }
+      auditor_->end_round(net_, result_.energy, result_, in_flight);
+    }
 
     // (f) lifespan bookkeeping.
     const std::size_t alive_now = net_.alive_count(cfg_.death_line);
@@ -348,6 +375,10 @@ SimResult SimRun::run() {
     result_.total_energy_consumed += node.battery.consumed();
   }
   result_.q_evaluations = protocol_.learning_updates();
+  if (auditor_) {
+    auditor_->finalize(net_, result_.energy, result_);
+    result_.audit = auditor_->report();
+  }
   return result_;
 }
 

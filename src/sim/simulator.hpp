@@ -57,6 +57,13 @@ struct SimConfig {
   /// Idle-listening drain per alive node per slot, joules (radio duty
   /// cycling; 0 = perfect sleep scheduling, the paper's implicit model).
   double idle_listen_j_per_slot = 0.0;
+  /// Run the SimAuditor invariant checks (sim/audit.hpp) every round and at
+  /// end-of-run; the outcome lands in SimResult::audit. Purely
+  /// observational — an audited run produces the identical trace.
+  bool audit = false;
+  /// With `audit`: throw AuditError on the first violation instead of
+  /// accumulating them into the report.
+  bool audit_throw = false;
 };
 
 /// Runs the full simulation, mutating `net` (battery drain, head flags).

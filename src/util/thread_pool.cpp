@@ -12,13 +12,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {

@@ -25,6 +25,11 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Drains already-queued tasks, joins the workers, and rejects further
+  /// submit() calls (they throw std::runtime_error). Idempotent; the
+  /// destructor calls it. After shutdown, size() is 0.
+  void shutdown();
+
   /// Enqueues a callable; the returned future yields its result (or rethrows
   /// its exception).
   template <typename F>

@@ -1,0 +1,214 @@
+// SimAuditor invariant-checking tests: clean audited runs for every
+// registered protocol (the acceptance sweep), violation detection on
+// hand-corrupted books, and the throw-vs-accumulate modes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/audit.hpp"
+#include "sim/experiment.hpp"
+
+namespace qlec {
+namespace {
+
+ExperimentConfig audited_config() {
+  ExperimentConfig cfg;
+  cfg.scenario.n = 30;
+  cfg.sim.rounds = 6;
+  cfg.sim.slots_per_round = 10;
+  cfg.sim.audit = true;
+  cfg.seeds = 2;
+  cfg.protocol.qlec.total_rounds = 6;
+  return cfg;
+}
+
+TEST(SimAuditor, AcceptanceSweepAllProtocols100Nodes20Rounds5Seeds) {
+  // The ISSUE acceptance bar: every registered protocol passes the
+  // energy/packet/structural invariants on a 20-round, 100-node scenario
+  // across 5 seeds.
+  ExperimentConfig cfg;
+  cfg.scenario.n = 100;
+  cfg.sim.rounds = 20;
+  cfg.sim.audit = true;
+  cfg.seeds = 5;
+  cfg.protocol.qlec.total_rounds = 20;
+  for (const std::string& name : protocol_names()) {
+    const auto results = run_replications(name, cfg);
+    ASSERT_EQ(results.size(), 5u) << name;
+    for (const SimResult& r : results) {
+      EXPECT_TRUE(r.audit.ok()) << name << ": " << r.audit.summary();
+      EXPECT_EQ(r.audit.rounds_audited, r.rounds_completed) << name;
+      EXPECT_TRUE(r.audit.finalized) << name;
+    }
+  }
+}
+
+TEST(SimAuditor, CleanUnderStressConfigs) {
+  // Congested caches, deaths mid-run, retries exhausted — the invariants
+  // must hold through every loss path, not just the happy one.
+  ExperimentConfig cfg = audited_config();
+  cfg.sim.queue_capacity = 2;          // force queue-overflow losses
+  cfg.sim.mean_interarrival = 1.0;     // heavy traffic
+  cfg.scenario.initial_energy = 0.05;  // force deaths
+  cfg.sim.rounds = 30;
+  for (const std::string& name :
+       {std::string("qlec"), std::string("leach"), std::string("fcm"),
+        std::string("qelar"), std::string("direct")}) {
+    for (const SimResult& r : run_replications(name, cfg)) {
+      EXPECT_TRUE(r.audit.ok()) << name << ": " << r.audit.summary();
+      EXPECT_GT(r.audit.rounds_audited, 0) << name;
+    }
+  }
+}
+
+TEST(SimAuditor, CleanWithHarvestingAndIdleDrain) {
+  ExperimentConfig cfg = audited_config();
+  cfg.sim.harvest_per_round = 0.01;
+  cfg.sim.idle_listen_j_per_slot = 1e-5;
+  for (const SimResult& r : run_replications("qlec", cfg))
+    EXPECT_TRUE(r.audit.ok()) << r.audit.summary();
+}
+
+TEST(SimAuditor, CleanWithMobilityAndHeterogeneousEnergy) {
+  ExperimentConfig cfg = audited_config();
+  cfg.scenario.energy_heterogeneity = 0.5;
+  cfg.sim.mobility.kind = MobilityKind::kRandomWaypoint;
+  cfg.sim.mobility.speed = 5.0;
+  for (const SimResult& r : run_replications("kmeans", cfg))
+    EXPECT_TRUE(r.audit.ok()) << r.audit.summary();
+}
+
+TEST(SimAuditor, DetectsUnledgeredBatteryDrain) {
+  // Drain a battery behind the ledger's back between the round snapshot and
+  // the round-end check: conservation must flag it.
+  Rng rng(7);
+  ScenarioConfig sc;
+  sc.n = 10;
+  Network net = make_uniform_network(sc, rng);
+  EnergyLedger ledger;
+  SimAuditor auditor(net, 0.0, false, false, false);
+  auditor.begin_round(net, 0, ledger);
+  auditor.on_heads_elected(net, {});
+  net.node(3).battery.consume(0.5);  // joules vanish without a ledger entry
+  SimResult partial;
+  auditor.end_round(net, ledger, partial, 0);
+  ASSERT_FALSE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().violations[0].kind,
+            AuditKind::kEnergyConservation);
+  EXPECT_EQ(auditor.report().violations[0].round, 0);
+}
+
+TEST(SimAuditor, DetectsPacketLeak) {
+  Rng rng(8);
+  ScenarioConfig sc;
+  sc.n = 5;
+  Network net = make_uniform_network(sc, rng);
+  EnergyLedger ledger;
+  SimAuditor auditor(net, 0.0, false, false, false);
+  auditor.begin_round(net, 0, ledger);
+  SimResult partial;
+  partial.generated = 10;
+  partial.delivered = 4;  // 6 packets unaccounted for
+  auditor.end_round(net, ledger, partial, 0);
+  ASSERT_FALSE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().violations[0].kind,
+            AuditKind::kPacketConservation);
+  // The same books balance once the missing packets show up in flight.
+  SimAuditor balanced(net, 0.0, false, false, false);
+  balanced.begin_round(net, 1, ledger);
+  balanced.end_round(net, ledger, partial, 6);
+  EXPECT_TRUE(balanced.report().ok());
+}
+
+TEST(SimAuditor, DetectsDeadElectedHead) {
+  Rng rng(9);
+  ScenarioConfig sc;
+  sc.n = 6;
+  Network net = make_uniform_network(sc, rng);
+  net.node(2).is_head = true;
+  net.node(2).battery.consume(1e9);  // dead BEFORE the round starts
+  EnergyLedger ledger;
+  SimAuditor auditor(net, 0.0, false, false, false);
+  auditor.begin_round(net, 0, ledger);
+  auditor.on_heads_elected(net, net.head_ids());
+  ASSERT_FALSE(auditor.report().ok());
+  EXPECT_EQ(auditor.report().violations[0].kind, AuditKind::kStructural);
+  EXPECT_EQ(auditor.report().violations[0].node, 2);
+}
+
+TEST(SimAuditor, DetectsRelayAcceptAtNonHead) {
+  Rng rng(10);
+  ScenarioConfig sc;
+  sc.n = 6;
+  Network net = make_uniform_network(sc, rng);
+  EnergyLedger ledger;
+  SimAuditor cluster_auditor(net, 0.0, /*flat=*/false, false, false);
+  cluster_auditor.begin_round(net, 0, ledger);
+  cluster_auditor.on_relay_accept(net, 4, true);  // node 4 is not a head
+  EXPECT_FALSE(cluster_auditor.report().ok());
+  // Flat-routing mode has no head structure: any alive node may relay.
+  SimAuditor flat_auditor(net, 0.0, /*flat=*/true, false, false);
+  flat_auditor.begin_round(net, 0, ledger);
+  flat_auditor.on_relay_accept(net, 4, true);
+  EXPECT_TRUE(flat_auditor.report().ok());
+  // Accepting at a node that was already dead at attempt time is flagged
+  // even in flat mode.
+  flat_auditor.on_relay_accept(net, 4, /*alive_at_attempt=*/false);
+  EXPECT_FALSE(flat_auditor.report().ok());
+}
+
+TEST(SimAuditor, ThrowModeRaisesAuditError) {
+  Rng rng(11);
+  ScenarioConfig sc;
+  sc.n = 4;
+  Network net = make_uniform_network(sc, rng);
+  EnergyLedger ledger;
+  SimAuditor auditor(net, 0.0, false, false, /*throw=*/true);
+  auditor.begin_round(net, 3, ledger);
+  net.node(0).battery.consume(1.0);
+  SimResult partial;
+  try {
+    auditor.end_round(net, ledger, partial, 0);
+    FAIL() << "expected AuditError";
+  } catch (const AuditError& e) {
+    EXPECT_EQ(e.violation.kind, AuditKind::kEnergyConservation);
+    EXPECT_EQ(e.violation.round, 3);
+    EXPECT_NE(std::string(e.what()).find("energy-conservation"),
+              std::string::npos);
+  }
+}
+
+TEST(SimAuditor, ThrowModePropagatesOutOfSimulation) {
+  // audit_throw surfaces the violation to the caller of run_simulation; on
+  // a correct simulator nothing throws, so assert the plumbing by running
+  // a clean config and checking it completes with an ok report.
+  ExperimentConfig cfg = audited_config();
+  cfg.sim.audit_throw = true;
+  cfg.seeds = 1;
+  const auto results = run_replications("leach", cfg);
+  EXPECT_TRUE(results[0].audit.ok());
+}
+
+TEST(SimAuditor, ReportSummaryFormats) {
+  AuditReport report;
+  report.rounds_audited = 4;
+  EXPECT_NE(report.summary().find("audit ok"), std::string::npos);
+  report.violations.push_back(
+      {AuditKind::kEnergyBounds, 2, 7, "residual -1 J is negative"});
+  EXPECT_NE(report.summary().find("FAILED"), std::string::npos);
+  EXPECT_NE(report.summary().find("node 7"), std::string::npos);
+  EXPECT_NE(report.violations[0].to_string().find("energy-bounds"),
+            std::string::npos);
+}
+
+TEST(SimAuditor, DisabledByDefault) {
+  ExperimentConfig cfg = audited_config();
+  cfg.sim.audit = false;
+  const auto results = run_replications("kmeans", cfg);
+  EXPECT_EQ(results[0].audit.rounds_audited, 0);
+  EXPECT_FALSE(results[0].audit.finalized);
+  EXPECT_FALSE(results[0].energy.per_node_enabled());
+}
+
+}  // namespace
+}  // namespace qlec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "sim/experiment.hpp"
 #include "sim/protocols/deec_protocol.hpp"
 #include "sim/protocols/direct_protocol.hpp"
 #include "sim/protocols/fcm_protocol.hpp"
@@ -211,6 +212,66 @@ TEST(Registry, ForceKFlowsToQlec) {
   // evaluates k+1 actions; we can't see k_opt through the base pointer, so
   // just ensure construction succeeded with the override in place.
   EXPECT_EQ(proto->name(), "QLEC");
+}
+
+// --- Audit-driven ledger reconciliation across the whole registry ------
+
+ExperimentConfig ledger_config() {
+  ExperimentConfig cfg;
+  cfg.scenario.n = 40;
+  cfg.sim.rounds = 6;
+  cfg.sim.slots_per_round = 10;
+  cfg.sim.audit = true;
+  cfg.seeds = 1;
+  cfg.protocol.qlec.total_rounds = 6;
+  return cfg;
+}
+
+TEST(LedgerReconciliation, TotalsMatchBatteryDrainAllProtocols) {
+  // Without harvesting, the ledger's grand total must equal the summed
+  // battery drain that SimResult reports (same joules, different books).
+  for (const std::string& name : protocol_names()) {
+    const auto results = run_replications(name, ledger_config());
+    const SimResult& r = results[0];
+    EXPECT_TRUE(r.audit.ok()) << name << ": " << r.audit.summary();
+    EXPECT_NEAR(r.energy.total(), r.total_energy_consumed,
+                1e-9 * std::max(1.0, r.total_energy_consumed))
+        << name;
+  }
+}
+
+TEST(LedgerReconciliation, CategoryTotalsSumToGrandTotal) {
+  for (const std::string& name : protocol_names()) {
+    const auto results = run_replications(name, ledger_config());
+    const EnergyLedger& e = results[0].energy;
+    double by_category = 0.0;
+    for (int u = 0; u < static_cast<int>(EnergyUse::kCount_); ++u)
+      by_category += e.by_use(static_cast<EnergyUse>(u));
+    EXPECT_NEAR(by_category, e.total(), 1e-12 * std::max(1.0, e.total()))
+        << name;
+    EXPECT_GT(e.by_use(EnergyUse::kTransmit), 0.0) << name;
+  }
+}
+
+TEST(LedgerReconciliation, PerNodeTotalsMatchPerNodeConsumption) {
+  // Audited runs attribute every charge to a node id; node-by-node the
+  // ledger must agree with the battery's own consumed() accounting.
+  for (const std::string& name : protocol_names()) {
+    const auto results = run_replications(name, ledger_config());
+    const SimResult& r = results[0];
+    ASSERT_TRUE(r.energy.per_node_enabled()) << name;
+    double attributed = 0.0;
+    for (std::size_t i = 0; i < r.per_node_consumed.size(); ++i) {
+      EXPECT_NEAR(r.energy.node_total(static_cast<int>(i)),
+                  r.per_node_consumed[i],
+                  1e-9 * std::max(1.0, r.per_node_consumed[i]))
+          << name << " node " << i;
+      attributed += r.energy.node_total(static_cast<int>(i));
+    }
+    EXPECT_NEAR(attributed, r.energy.total(),
+                1e-9 * std::max(1.0, r.energy.total()))
+        << name << ": some charge was not node-attributed";
+  }
 }
 
 TEST(DirectProtocol, AlwaysRoutesToBs) {

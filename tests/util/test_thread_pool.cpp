@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace qlec {
 namespace {
@@ -72,6 +75,72 @@ TEST(ThreadPool, ResultsAreOrderedByIndexNotCompletion) {
     out[i] = static_cast<int>(i) * 2;
   });
   for (int i = 0; i < 32; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 2);
+}
+
+TEST(ThreadPool, ParallelForDeterministicWithPerSeedRngStreams) {
+  // The experiment runner's contract: each index derives its own Rng from
+  // its seed, so a pool fan-out must reproduce the serial trajectory
+  // bit-for-bit regardless of scheduling.
+  constexpr std::size_t kN = 48;
+  const auto draw = [](std::size_t i) {
+    Rng rng(1000 + i);
+    std::uint64_t acc = 0;
+    for (int k = 0; k < 100; ++k) acc ^= rng.next_u64();
+    return acc;
+  };
+  std::vector<std::uint64_t> serial(kN);
+  for (std::size_t i = 0; i < kN; ++i) serial[i] = draw(i);
+
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> parallel(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { parallel[i] = draw(i); });
+  EXPECT_EQ(parallel, serial);
+  // And a second fan-out with a different thread count agrees too.
+  ThreadPool pool2(2);
+  std::vector<std::uint64_t> again(kN);
+  pool2.parallel_for(kN, [&](std::size_t i) { again[i] = draw(i); });
+  EXPECT_EQ(again, serial);
+}
+
+TEST(ThreadPool, SubmitPreservesExceptionMessage) {
+  ThreadPool pool(2);
+  auto f = pool.submit(
+      []() -> int { throw std::invalid_argument("bad seed 17"); });
+  try {
+    f.get();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "bad seed 17");
+  }
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  auto f = pool.submit([&ran] { ++ran; });
+  f.get();
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a crash
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  pool.shutdown();
+  for (auto& f : futures) f.get();  // all ran, none dropped
+  EXPECT_EQ(counter.load(), 32);
 }
 
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
