@@ -13,12 +13,12 @@ int main() {
               "===\n");
   std::printf("lambda=2 (congested), seeds=%zu\n\n", bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   TextTable t({"gamma", "PDR", "energy (J)", "latency (slots)"});
   for (const double gamma : {0.0, 0.5, 0.7, 0.9, 0.95, 0.99}) {
     ExperimentConfig cfg = bench::paper_config(2.0);
     cfg.protocol.qlec.gamma = gamma;
-    const AggregatedMetrics m = run_experiment("qlec", cfg, &pool);
+    const AggregatedMetrics m = run_experiment("qlec", cfg, exec);
     t.add_row({fmt_double(gamma, 2),
                fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
                fmt_double(m.total_energy.mean(), 3),

@@ -17,14 +17,14 @@ int main() {
   std::printf("node i starts with E*(1 + U(-h, +h)); seeds=%zu\n\n",
               bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   TextTable t({"heterogeneity h", "protocol", "lifespan FND (rounds)",
                "PDR", "heads/round"});
   for (const double h : {0.0, 0.3, 0.6}) {
     for (const char* name : {"qlec", "ideec", "leach", "kmeans"}) {
       ExperimentConfig cfg = bench::lifespan_config(4.0);
       cfg.scenario.energy_heterogeneity = h;
-      const AggregatedMetrics m = run_experiment(name, cfg, &pool);
+      const AggregatedMetrics m = run_experiment(name, cfg, exec);
       t.add_row({fmt_double(h, 1), m.protocol,
                  fmt_pm(m.first_death.mean(),
                         m.first_death.ci95_halfwidth(), 1),

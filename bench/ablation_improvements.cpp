@@ -39,14 +39,14 @@ int main() {
       {"LEACH", "leach", false, false},
   };
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   TextTable t({"variant", "lifespan FND (rounds)", "heads/round", "PDR",
                "energy (J)"});
   for (const Variant& v : variants) {
     ExperimentConfig cfg = bench::lifespan_config(4.0);
     cfg.protocol.qlec.use_energy_threshold = v.energy_threshold;
     cfg.protocol.qlec.reduce_redundancy = v.reduce_redundancy;
-    const AggregatedMetrics m = run_experiment(v.protocol, cfg, &pool);
+    const AggregatedMetrics m = run_experiment(v.protocol, cfg, exec);
     t.add_row({v.label,
                fmt_pm(m.first_death.mean(), m.first_death.ci95_halfwidth(),
                       1),

@@ -14,14 +14,14 @@ int main() {
               "===\n");
   std::printf("QLEC with force_k, lambda=4, seeds=%zu\n\n", bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   TextTable t({"k", "energy (J)", "lifespan FND (rounds)", "PDR",
                "heads/round"});
   const int ks[] = {1, 2, 3, 5, 8, 12, 16, 24};
   for (const int k : ks) {
     ExperimentConfig cfg = bench::lifespan_config(4.0);
     cfg.protocol.qlec.force_k = k;
-    const AggregatedMetrics m = run_experiment("qlec", cfg, &pool);
+    const AggregatedMetrics m = run_experiment("qlec", cfg, exec);
     t.add_row({std::to_string(k), fmt_double(m.total_energy.mean(), 4),
                fmt_pm(m.first_death.mean(), m.first_death.ci95_halfwidth(),
                       1),
@@ -44,7 +44,7 @@ int main() {
     ExperimentConfig cfg = bench::paper_config(20.0);
     cfg.sim.aggregation = Aggregation::kFixedSummary;
     cfg.protocol.qlec.force_k = k;
-    const AggregatedMetrics m = run_experiment("qlec", cfg, &pool);
+    const AggregatedMetrics m = run_experiment("qlec", cfg, exec);
     t2.add_row({std::to_string(k), fmt_double(m.total_energy.mean(), 4),
                 fmt_sci(m.total_energy.mean() / 20.0, 3),
                 fmt_double(m.pdr.mean(), 3)});

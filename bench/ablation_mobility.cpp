@@ -14,7 +14,7 @@ int main() {
   std::printf("=== Ablation: node mobility (random waypoint) ===\n");
   std::printf("lambda=4, speeds in m/round, seeds=%zu\n\n", bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   TextTable t({"speed", "protocol", "PDR", "energy (J)",
                "latency (slots)"});
   for (const double speed : {0.0, 5.0, 15.0, 40.0}) {
@@ -24,7 +24,7 @@ int main() {
         cfg.sim.mobility.kind = MobilityKind::kRandomWaypoint;
         cfg.sim.mobility.speed = speed;
       }
-      const AggregatedMetrics m = run_experiment(name, cfg, &pool);
+      const AggregatedMetrics m = run_experiment(name, cfg, exec);
       t.add_row({fmt_double(speed, 0), m.protocol,
                  fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
                  fmt_double(m.total_energy.mean(), 3),

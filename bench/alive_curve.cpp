@@ -21,8 +21,8 @@ int main() {
   for (const char* name : {"qlec", "fcm", "kmeans"}) {
     ExperimentConfig cfg = bench::lifespan_config(4.0);
     cfg.sim.rounds = horizon;
-    cfg.sim.stop_at_first_death = false;  // run past FND
-    cfg.sim.record_trace = true;
+    cfg.sim.trace.stop_at_first_death = false;  // run past FND
+    cfg.sim.trace.record = true;
     cfg.seeds = 1;
     const auto results = run_replications(name, cfg);
     const SimResult& r = results.front();

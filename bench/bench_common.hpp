@@ -7,26 +7,17 @@
 //   QLEC_BENCH_FAST=1     shrink the runs for smoke testing
 #pragma once
 
-#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "util/env.hpp"
 
 namespace qlec::bench {
 
-inline bool fast_mode() {
-  const char* v = std::getenv("QLEC_BENCH_FAST");
-  return v != nullptr && v[0] != '\0' && v[0] != '0';
-}
+inline bool fast_mode() { return env::bench_fast(); }
 
-inline std::size_t seeds(std::size_t def = 5) {
-  if (const char* v = std::getenv("QLEC_BENCH_SEEDS")) {
-    const long n = std::strtol(v, nullptr, 10);
-    if (n > 0) return static_cast<std::size_t>(n);
-  }
-  return fast_mode() ? 2 : def;
-}
+inline std::size_t seeds(std::size_t def = 5) { return env::bench_seeds(def); }
 
 /// The four congestion levels of §5.2 (mean inter-arrival in slots; smaller
 /// = more congested).
@@ -66,7 +57,7 @@ inline ExperimentConfig lifespan_config(double lambda) {
   cfg.scenario.initial_energy = 3.0;
   cfg.sim.rounds = fast_mode() ? 150 : 400;
   cfg.sim.death_line = 0.0;
-  cfg.sim.stop_at_first_death = true;
+  cfg.sim.trace.stop_at_first_death = true;
   cfg.protocol.qlec.total_rounds = 60;  // Eq. 2/4 schedule R: set below the true
   // horizon so the Eq. 4 envelope stays loose (see EXPERIMENTS.md)
   return cfg;

@@ -11,7 +11,7 @@
 
 int main() {
   using namespace qlec;
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   for (const double lambda : {8.0, 2.0}) {
     std::printf("=== All protocols at lambda=%.0f (%s) ===\n", lambda,
                 lambda > 4.0 ? "idle" : "congested");
@@ -19,9 +19,9 @@ int main() {
                  "heads/round", "lifespan FND"});
     for (const std::string& name : protocol_names()) {
       const AggregatedMetrics m =
-          run_experiment(name, bench::paper_config(lambda), &pool);
+          run_experiment(name, bench::paper_config(lambda), exec);
       const AggregatedMetrics life =
-          run_experiment(name, bench::lifespan_config(lambda), &pool);
+          run_experiment(name, bench::lifespan_config(lambda), exec);
       t.add_row({m.protocol,
                  fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
                  fmt_double(m.total_energy.mean(), 3),

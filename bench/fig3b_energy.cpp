@@ -13,13 +13,13 @@ int main() {
   std::printf("N=100, M=200, 5 J, R=20 rounds, seeds=%zu\n\n",
               bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   std::vector<SweepSeries> series;
   for (const std::string& name : bench::figure3_protocols()) {
     SweepSeries s;
     for (const double lambda : bench::lambda_sweep()) {
       const AggregatedMetrics m =
-          run_experiment(name, bench::paper_config(lambda), &pool);
+          run_experiment(name, bench::paper_config(lambda), exec);
       if (s.protocol.empty()) s.protocol = m.protocol;
       s.x.push_back(lambda);
       s.mean.push_back(m.total_energy.mean());
@@ -51,7 +51,7 @@ int main() {
       cfg.scenario.bs = BsPlacement::kCenter;
       cfg.protocol.k = 5;
       cfg.protocol.qlec.force_k = 5;
-      const AggregatedMetrics m = run_experiment(name, cfg, &pool);
+      const AggregatedMetrics m = run_experiment(name, cfg, exec);
       if (s.protocol.empty()) s.protocol = m.protocol;
       s.x.push_back(lambda);
       s.mean.push_back(m.total_energy.mean());

@@ -14,7 +14,7 @@ int main() {
               "vs lambda ===\n");
   std::printf("N=100, M=200, lifespan mode, seeds=%zu\n\n", bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   std::vector<SweepSeries> series;
   for (const std::string& name : bench::figure3_protocols()) {
     SweepSeries s;
@@ -22,7 +22,7 @@ int main() {
       // Lifespan mode: shrink batteries so first death happens within the
       // horizon (equivalently: raise the death line), run until FND.
       const ExperimentConfig cfg = bench::lifespan_config(lambda);
-      const AggregatedMetrics m = run_experiment(name, cfg, &pool);
+      const AggregatedMetrics m = run_experiment(name, cfg, exec);
       if (s.protocol.empty()) s.protocol = m.protocol;
       s.x.push_back(lambda);
       s.mean.push_back(m.first_death.mean());
@@ -56,7 +56,7 @@ int main() {
       cfg.scenario.bs = BsPlacement::kCenter;
       cfg.protocol.k = 5;
       cfg.protocol.qlec.force_k = 5;
-      const AggregatedMetrics m = run_experiment(name, cfg, &pool);
+      const AggregatedMetrics m = run_experiment(name, cfg, exec);
       if (s.protocol.empty()) s.protocol = m.protocol;
       s.x.push_back(lambda);
       s.mean.push_back(m.first_death.mean());

@@ -15,13 +15,13 @@ int main() {
   std::printf("=== Transmission latency vs lambda (abstract claim) ===\n");
   std::printf("N=100, M=200, R=20 rounds, seeds=%zu\n\n", bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   std::vector<SweepSeries> series;
   for (const std::string& name : bench::figure3_protocols()) {
     SweepSeries s;
     for (const double lambda : bench::lambda_sweep()) {
       const AggregatedMetrics m =
-          run_experiment(name, bench::paper_config(lambda), &pool);
+          run_experiment(name, bench::paper_config(lambda), exec);
       if (s.protocol.empty()) s.protocol = m.protocol;
       s.x.push_back(lambda);
       s.mean.push_back(m.mean_latency.mean());

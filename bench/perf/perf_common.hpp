@@ -1,0 +1,148 @@
+// Shared machinery for the hot-path microbenchmarks under bench/perf/:
+// warmup + repeated timing, order statistics over the samples, and the
+// machine-readable BENCH_*.json emission contract (see EXPERIMENTS.md §perf).
+//
+// Environment knobs (util/env.hpp):
+//   QLEC_BENCH_FAST=1        shrink cases for the CI perf-smoke job
+//   QLEC_PERF_REPEATS=<n>    timed repetitions per case
+//   QLEC_PERF_BASELINE=<p>   previously emitted BENCH_scaling.json to embed
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/json.hpp"
+
+namespace qlec::perf {
+
+/// Wall-clock samples of one benchmark case, in seconds.
+struct Timing {
+  std::vector<double> samples;
+
+  double min() const { return quantile(0.0); }
+  double median() const { return quantile(0.5); }
+  double p90() const { return quantile(0.9); }
+
+  /// Nearest-rank quantile over the sorted samples (0 when empty).
+  double quantile(double q) const {
+    if (samples.empty()) return 0.0;
+    std::vector<double> s = samples;
+    std::sort(s.begin(), s.end());
+    const double pos = q * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return s[lo] + (s[hi] - s[lo]) * frac;
+  }
+};
+
+/// Runs `fn` once untimed (warmup: touch memory, warm caches/allocators),
+/// then `repeats` timed repetitions.
+template <typename F>
+Timing time_case(std::size_t repeats, F&& fn) {
+  Timing t;
+  fn();  // warmup
+  t.samples.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    t.samples.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  return t;
+}
+
+/// One benchmark case's throughput record, as written to BENCH_*.json.
+struct CaseResult {
+  std::string name;          ///< e.g. protocol name or "qlec"
+  std::size_t n = 0;         ///< node count
+  std::size_t seeds = 0;     ///< replications per timed repetition
+  std::uint64_t rounds = 0;  ///< simulated rounds per repetition (all seeds)
+  std::uint64_t packets = 0; ///< generated packets per repetition
+  Timing timing;
+
+  double rounds_per_sec() const {
+    const double m = timing.median();
+    return m > 0.0 ? static_cast<double>(rounds) / m : 0.0;
+  }
+  double packets_per_sec() const {
+    const double m = timing.median();
+    return m > 0.0 ? static_cast<double>(packets) / m : 0.0;
+  }
+};
+
+inline void write_case(JsonWriter& j, const CaseResult& c) {
+  j.begin_object();
+  j.key("name"); j.value(c.name);
+  j.key("n"); j.value(c.n);
+  j.key("seeds"); j.value(c.seeds);
+  j.key("rounds"); j.value(static_cast<unsigned long long>(c.rounds));
+  j.key("packets"); j.value(static_cast<unsigned long long>(c.packets));
+  j.key("wall_median_s"); j.value(c.timing.median());
+  j.key("wall_p90_s"); j.value(c.timing.p90());
+  j.key("wall_min_s"); j.value(c.timing.min());
+  j.key("repeats"); j.value(c.timing.samples.size());
+  j.key("rounds_per_sec"); j.value(c.rounds_per_sec());
+  j.key("packets_per_sec"); j.value(c.packets_per_sec());
+  j.end_object();
+}
+
+/// Emits the common BENCH document frame: {"bench": name, "fast": bool,
+/// "cases": [...]} plus an optional verbatim-embedded baseline document.
+inline void write_bench_file(const std::string& path, const std::string& name,
+                             const std::vector<CaseResult>& cases,
+                             const std::string& baseline_json = {}) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench"); j.value(name);
+  j.key("fast"); j.value(env::bench_fast());
+  j.key("cases");
+  j.begin_array();
+  for (const CaseResult& c : cases) write_case(j, c);
+  j.end_array();
+  j.key("baseline");
+  if (baseline_json.empty()) {
+    j.null();
+  } else {
+    j.raw_value(baseline_json);
+  }
+  j.end_object();
+  std::ofstream out(path);
+  out << j.str() << "\n";
+}
+
+/// Reads a whole file (the QLEC_PERF_BASELINE embed); empty on failure.
+inline std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string s = ss.str();
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+  return s;
+}
+
+/// Pulls `field` out of the case object for node count `n` in a previously
+/// emitted BENCH document — a targeted scan, not a JSON parser, sufficient
+/// because the documents are machine-written by write_bench_file. Returns
+/// NaN when not found.
+inline double baseline_field(const std::string& doc, std::size_t n,
+                             const std::string& field) {
+  const std::string n_tag = "\"n\":" + std::to_string(n) + ",";
+  const std::size_t at = doc.find(n_tag);
+  if (at == std::string::npos) return std::nan("");
+  const std::string f_tag = '"' + field + "\":";
+  const std::size_t f = doc.find(f_tag, at);
+  const std::size_t obj_end = doc.find('}', at);
+  if (f == std::string::npos || (obj_end != std::string::npos && f > obj_end))
+    return std::nan("");
+  return std::strtod(doc.c_str() + f + f_tag.size(), nullptr);
+}
+
+}  // namespace qlec::perf

@@ -1,0 +1,77 @@
+// Node-count scaling sweep for the QLEC hot path: density-fixed deployments
+// from N = 100 to N = 20k, reporting rounds/sec and packets/sec per size.
+// Emits BENCH_scaling.json; when QLEC_PERF_BASELINE points at a previously
+// emitted file, it is embedded verbatim under "baseline" and per-N speedups
+// are reported, which is how the committed pre-/post-optimization comparison
+// is produced (see EXPERIMENTS.md).
+#include <cmath>
+#include <cstdio>
+
+#include "perf_common.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace qlec;
+
+  const bool fast = env::bench_fast();
+  const std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{100, 500, 1000}
+           : std::vector<std::size_t>{100, 500, 1000, 2000, 5000, 10000,
+                                      20000};
+
+  std::printf("=== perf_scaling: QLEC rounds/sec vs N (density fixed) ===\n");
+  std::printf("R=5, lambda=4, 1 seed; repeats median over warmed runs\n\n");
+
+  std::vector<perf::CaseResult> cases;
+  for (const std::size_t n : sizes) {
+    ExperimentConfig cfg;
+    cfg.scenario.n = n;
+    // Fixed node density: the §5.1 cube is 200^3 for N = 100.
+    cfg.scenario.m_side = 200.0 * std::cbrt(static_cast<double>(n) / 100.0);
+    cfg.scenario.initial_energy = 5.0;
+    cfg.sim.rounds = fast ? 3 : 5;
+    cfg.sim.slots_per_round = 20;
+    cfg.sim.mean_interarrival = 4.0;
+    cfg.sim.death_line = -1.0;  // throughput run: nobody dies
+    cfg.seeds = 1;
+    cfg.protocol.qlec.total_rounds = cfg.sim.rounds;
+
+    const std::size_t repeats =
+        env::perf_repeats(fast ? 2 : (n >= 5000 ? 3 : 5));
+    perf::CaseResult c;
+    c.name = "qlec";
+    c.n = n;
+    c.seeds = cfg.seeds;
+    c.timing = perf::time_case(repeats, [&] {
+      std::uint64_t rounds = 0, packets = 0;
+      for (const SimResult& r : run_replications("qlec", cfg)) {
+        rounds += static_cast<std::uint64_t>(r.rounds_completed);
+        packets += r.generated;
+      }
+      c.rounds = rounds;
+      c.packets = packets;
+    });
+    std::printf("  N=%-6zu median %8.1f ms  %8.2f rounds/s  %10.0f "
+                "packets/s\n",
+                n, 1e3 * c.timing.median(), c.rounds_per_sec(),
+                c.packets_per_sec());
+    cases.push_back(c);
+  }
+
+  const std::string baseline = perf::slurp(env::perf_baseline());
+  if (!baseline.empty()) {
+    std::printf("\nspeedup vs baseline (%s):\n", env::perf_baseline().c_str());
+    for (const perf::CaseResult& c : cases) {
+      const double base =
+          perf::baseline_field(baseline, c.n, "rounds_per_sec");
+      if (std::isnan(base) || base <= 0.0) continue;
+      std::printf("  N=%-6zu %.2fx rounds/sec\n", c.n,
+                  c.rounds_per_sec() / base);
+    }
+  }
+
+  perf::write_bench_file("BENCH_scaling.json", "perf_scaling", cases,
+                         baseline);
+  std::printf("\nwrote BENCH_scaling.json\n");
+  return 0;
+}

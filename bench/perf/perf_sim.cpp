@@ -1,0 +1,56 @@
+// Simulator hot-path microbenchmark: wall time for the §5.1 scenario
+// (N = 100, R = 20) across every registered protocol, with warmup + repeats
+// and median/p90 reporting. Emits machine-readable BENCH_sim.json next to
+// the working directory; see EXPERIMENTS.md for how to read it.
+#include <cstdio>
+
+#include "perf_common.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace qlec;
+
+  const std::size_t repeats = env::perf_repeats(env::bench_fast() ? 2 : 5);
+  const std::size_t seeds = env::bench_fast() ? 1 : 3;
+
+  std::printf("=== perf_sim: full-simulation throughput per protocol ===\n");
+  std::printf("N=100, R=20, lambda=4, seeds=%zu, repeats=%zu (median/p90)\n\n",
+              seeds, repeats);
+
+  std::vector<perf::CaseResult> cases;
+  for (const std::string& name : protocol_names()) {
+    ExperimentConfig cfg;
+    cfg.scenario.n = 100;
+    cfg.scenario.m_side = 200.0;
+    cfg.scenario.initial_energy = 5.0;
+    cfg.sim.rounds = 20;
+    cfg.sim.slots_per_round = 20;
+    cfg.sim.mean_interarrival = 4.0;
+    cfg.sim.death_line = -1.0;
+    cfg.seeds = seeds;
+    cfg.protocol.qlec.total_rounds = cfg.sim.rounds;
+
+    perf::CaseResult c;
+    c.name = name;
+    c.n = cfg.scenario.n;
+    c.seeds = cfg.seeds;
+    c.timing = perf::time_case(repeats, [&] {
+      std::uint64_t rounds = 0, packets = 0;
+      for (const SimResult& r : run_replications(name, cfg)) {
+        rounds += static_cast<std::uint64_t>(r.rounds_completed);
+        packets += r.generated;
+      }
+      c.rounds = rounds;  // deterministic: identical every repetition
+      c.packets = packets;
+    });
+    std::printf("  %-10s median %8.2f ms  p90 %8.2f ms  %9.1f rounds/s  "
+                "%10.0f packets/s\n",
+                name.c_str(), 1e3 * c.timing.median(), 1e3 * c.timing.p90(),
+                c.rounds_per_sec(), c.packets_per_sec());
+    cases.push_back(c);
+  }
+
+  perf::write_bench_file("BENCH_sim.json", "perf_sim", cases);
+  std::printf("\nwrote BENCH_sim.json\n");
+  return 0;
+}

@@ -15,15 +15,15 @@ int main() {
   std::printf("=== Architecture: QLEC clustering vs QELAR flat Q-routing "
               "===\nseeds=%zu\n\n", bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   TextTable t({"lambda", "protocol", "PDR", "energy (J)",
                "latency (slots)", "lifespan FND"});
   for (const double lambda : bench::lambda_sweep()) {
     for (const char* name : {"qlec", "qelar", "direct"}) {
       const AggregatedMetrics m =
-          run_experiment(name, bench::paper_config(lambda), &pool);
+          run_experiment(name, bench::paper_config(lambda), exec);
       const AggregatedMetrics life =
-          run_experiment(name, bench::lifespan_config(lambda), &pool);
+          run_experiment(name, bench::lifespan_config(lambda), exec);
       t.add_row({fmt_double(lambda, 0), m.protocol,
                  fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
                  fmt_double(m.total_energy.mean(), 3),

@@ -16,7 +16,7 @@ int main() {
   std::printf("seeds=%zu; k_opt per Theorem 1, d_toBS from the deployment"
               "\n\n", bench::seeds());
 
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
   TextTable t({"N", "k_opt (thm1)", "heads/round", "PDR", "energy (J)",
                "energy/packet (mJ)", "Q evals / packet"});
   for (const std::size_t n : {50u, 100u, 200u, 400u}) {
@@ -28,7 +28,7 @@ int main() {
                               0.665 * cfg.scenario.m_side);
     RunningStats pdr, energy, heads;
     double packets = 0.0, q_evals = 0.0;
-    for (const SimResult& r : run_replications("qlec", cfg, &pool)) {
+    for (const SimResult& r : run_replications("qlec", cfg, exec)) {
       pdr.add(r.pdr());
       energy.add(r.total_energy_consumed);
       heads.add(r.heads_per_round.mean());

@@ -35,7 +35,7 @@ int main() {
   using namespace qlec;
   std::printf("=== Reproduction shape check (EXPERIMENTS.md claims) "
               "===\n\n");
-  ThreadPool pool;
+  const ExecPolicy exec = ExecPolicy::pool();
 
   // THM1: k_opt ≈ 5 in the paper's setting (surface sink).
   {
@@ -53,13 +53,13 @@ int main() {
   // FIG3A: congested PDR ordering QLEC >= FCM, k-means; idle PDR ~ 1.
   {
     const ExperimentConfig congested = bench::paper_config(2.0);
-    const double q = run_experiment("qlec", congested, &pool).pdr.mean();
-    const double f = run_experiment("fcm", congested, &pool).pdr.mean();
-    const double k = run_experiment("kmeans", congested, &pool).pdr.mean();
+    const double q = run_experiment("qlec", congested, exec).pdr.mean();
+    const double f = run_experiment("fcm", congested, exec).pdr.mean();
+    const double k = run_experiment("kmeans", congested, exec).pdr.mean();
     check("FIG3A: QLEC holds highest PDR when congested",
           q >= f - 0.01 && q >= k - 0.01, num2(q, std::max(f, k)));
     const double q_idle =
-        run_experiment("qlec", bench::paper_config(16.0), &pool)
+        run_experiment("qlec", bench::paper_config(16.0), exec)
             .pdr.mean();
     check("FIG3A: QLEC PDR ~ 1 when idle", q_idle > 0.99,
           num2(q_idle, 1.0));
@@ -68,9 +68,9 @@ int main() {
   // FIG3B: QLEC consumes less than k-means (surface sink).
   {
     const ExperimentConfig cfg = bench::paper_config(8.0);
-    const double q = run_experiment("qlec", cfg, &pool).total_energy.mean();
+    const double q = run_experiment("qlec", cfg, exec).total_energy.mean();
     const double k =
-        run_experiment("kmeans", cfg, &pool).total_energy.mean();
+        run_experiment("kmeans", cfg, exec).total_energy.mean();
     check("FIG3B: QLEC energy below k-means", q < k, num2(q, k));
   }
 
@@ -82,9 +82,9 @@ int main() {
     cfg.protocol.qlec.force_k = 5;
     // Against the geometric baseline the relay overhead is unambiguous;
     // QLEC vs FCM is within noise at reduced scales (EXPERIMENTS.md).
-    const double f = run_experiment("fcm", cfg, &pool).total_energy.mean();
+    const double f = run_experiment("fcm", cfg, exec).total_energy.mean();
     const double k =
-        run_experiment("kmeans", cfg, &pool).total_energy.mean();
+        run_experiment("kmeans", cfg, exec).total_energy.mean();
     check("FIG3B: FCM relaying costs more than k-means (center sink)",
           f > k, num2(f, k));
   }
@@ -92,11 +92,11 @@ int main() {
   // FIG3C: QLEC lifespan beats the energy-blind baselines by >= 2x.
   {
     const ExperimentConfig cfg = bench::lifespan_config(4.0);
-    const double q = run_experiment("qlec", cfg, &pool).first_death.mean();
+    const double q = run_experiment("qlec", cfg, exec).first_death.mean();
     const double k =
-        run_experiment("kmeans", cfg, &pool).first_death.mean();
+        run_experiment("kmeans", cfg, exec).first_death.mean();
     const double l =
-        run_experiment("leach", cfg, &pool).first_death.mean();
+        run_experiment("leach", cfg, exec).first_death.mean();
     check("FIG3C: QLEC lifespan >= 2x k-means", q >= 2.0 * k, num2(q, k));
     check("FIG3C: QLEC lifespan > LEACH", q > l, num2(q, l));
   }
@@ -138,8 +138,8 @@ int main() {
   {
     const ExperimentConfig cfg = bench::paper_config(2.0);
     const double q =
-        run_experiment("qlec", cfg, &pool).mean_latency.mean();
-    const double f = run_experiment("fcm", cfg, &pool).mean_latency.mean();
+        run_experiment("qlec", cfg, exec).mean_latency.mean();
+    const double f = run_experiment("fcm", cfg, exec).mean_latency.mean();
     check("LAT: FCM latency above QLEC when congested", f > q,
           num2(f, q));
   }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   cfg.sim.rounds = 600;
   cfg.sim.slots_per_round = 15;
   cfg.sim.mean_interarrival = 4.0;
-  cfg.sim.stop_at_first_death = true;
+  cfg.sim.trace.stop_at_first_death = true;
   cfg.seeds = 4;
   cfg.base_seed = seed;
   // Eq. 2 / Eq. 4 schedule R: the a-priori lifespan estimate.

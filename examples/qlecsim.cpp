@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   cfg.sim.rounds = static_cast<int>(args.get_int("rounds", 20));
   cfg.sim.mean_interarrival = args.get_double("lambda", 4.0);
   cfg.sim.harvest_per_round = args.get_double("harvest", 0.0);
-  cfg.sim.stop_at_first_death = args.has("lifespan");
+  cfg.sim.trace.stop_at_first_death = args.has("lifespan");
   cfg.seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
   cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
   cfg.deployment =

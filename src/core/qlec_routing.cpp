@@ -8,11 +8,67 @@ namespace qlec {
 
 QlecRouter::QlecRouter(QlecParams params, RadioModel radio,
                        std::size_t n_nodes)
-    : params_(params), radio_(radio), v_(n_nodes, 0.0) {}
+    : params_(params),
+      radio_(radio),
+      v_(n_nodes, 0.0),
+      slot_of_(n_nodes, -1) {}
 
 void QlecRouter::begin_round(std::vector<int> heads) {
+  // Retire the outgoing round's action slots before installing the new set.
+  for (const int h : heads_)
+    if (h >= 0 && static_cast<std::size_t>(h) < slot_of_.size())
+      slot_of_[static_cast<std::size_t>(h)] = -1;
   heads_ = std::move(heads);
   max_v_delta_ = 0.0;
+
+  ++round_serial_;
+  const std::size_t want_stride = heads_.size() + 1;  // + the BS action
+  if (want_stride > stride_) {
+    stride_ = want_stride;
+    y_val_.assign(v_.size() * stride_, 0.0);
+    y_token_.assign(v_.size() * stride_, 0);
+    // Every row needs a token no surviving entry can match.
+    row_token_.assign(v_.size(), 0);
+    row_round_.assign(v_.size(), 0);
+    row_bits_.assign(v_.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < heads_.size(); ++i) {
+    const int h = heads_[i];
+    if (h >= 0 && static_cast<std::size_t>(h) < slot_of_.size())
+      slot_of_[static_cast<std::size_t>(h)] = static_cast<std::int32_t>(i);
+  }
+}
+
+double QlecRouter::y_cached(const Network& net, int src, int target,
+                            double bits) {
+  const std::size_t s = static_cast<std::size_t>(src);
+  if (src < 0 || s >= v_.size() || stride_ == 0)
+    return y_of(net, src, target, bits);
+  std::int32_t slot;
+  if (target == kBaseStationId) {
+    slot = static_cast<std::int32_t>(heads_.size());
+  } else if (target >= 0 && static_cast<std::size_t>(target) < slot_of_.size()) {
+    slot = slot_of_[static_cast<std::size_t>(target)];
+  } else {
+    slot = -1;
+  }
+  if (slot < 0) return y_of(net, src, target, bits);
+
+  if (row_round_[s] != round_serial_ || row_bits_[s] != bits) {
+    row_round_[s] = round_serial_;
+    row_bits_[s] = bits;
+    if (++token_counter_ == 0) {  // u32 wrap: no stale entry may match
+      std::fill(y_token_.begin(), y_token_.end(), 0u);
+      token_counter_ = 1;
+    }
+    row_token_[s] = token_counter_;
+  }
+  const std::size_t idx = s * stride_ + static_cast<std::size_t>(slot);
+  if (y_token_[idx] != row_token_[s]) {
+    y_val_[idx] = y_of(net, src, target, bits);
+    y_token_[idx] = row_token_[s];
+  }
+  return y_val_[idx];
 }
 
 double QlecRouter::x_of(const Network& net, int node_or_bs) const {
@@ -82,14 +138,32 @@ int QlecRouter::choose_target(const Network& net, int src, double bits,
   // Action set A(b_i): every current head except itself, plus the BS.
   int best = kBaseStationId;
   double best_q = -std::numeric_limits<double>::infinity();
-  std::vector<int> actions;
-  actions.reserve(heads_.size() + 1);
+  actions_.clear();
   for (const int h : heads_)
-    if (h != src) actions.push_back(h);
-  actions.push_back(kBaseStationId);
+    if (h != src) actions_.push_back(h);
+  actions_.push_back(kBaseStationId);
 
-  for (const int a : actions) {
-    const double q = q_value(net, src, a, bits);
+  // Inner Q loop, with the per-action-invariant terms hoisted and y served
+  // from the per-round memo. Every arithmetic expression below matches
+  // q_value()/reward_success()/reward_failure() operation for operation, so
+  // the result is bit-identical to calling q_value() per action.
+  const double x_src = x_of(net, src);
+  const double v_src_now = v(src);
+  for (const int a : actions_) {
+    const double y = y_cached(net, src, a, bits);
+    double r_s = -params_.g + params_.alpha1 * (x_src + x_of(net, a)) -
+                 params_.alpha2 * y;
+    if (a == kBaseStationId) r_s -= params_.l;  // Eq. 19's direct-BS penalty
+    const double r_f =
+        -params_.g + params_.beta1 * x_src - params_.beta2 * y;
+    const TwoOutcomeTransition t{
+        .p_success = estimator_.estimate(src, a),
+        .reward_success = r_s,
+        .reward_failure = r_f,
+        .v_success = v(a),
+        .v_failure = v_src_now,
+    };
+    const double q = t.q_value(params_.gamma);
     ++q_evals_;
     if (q > best_q) {
       best_q = q;
@@ -103,7 +177,7 @@ int QlecRouter::choose_target(const Network& net, int src, double bits,
   v_src = best_q;
 
   if (params_.epsilon > 0.0 && rng.bernoulli(params_.epsilon))
-    return actions[rng.uniform_int(actions.size())];
+    return actions_[rng.uniform_int(actions_.size())];
   return best;
 }
 
@@ -118,10 +192,12 @@ void QlecRouter::update_head_value(const Network& net, int head,
   // The head's uplink carries no direct-to-BS penalty — uplinking the fused
   // data IS its job (Eq. 19's l penalizes members bypassing the hierarchy).
   const double p = estimator_.estimate(head, kBaseStationId);
+  const double y = y_cached(net, head, kBaseStationId, bits);
   const double r_s = -params_.g +
                      params_.alpha1 * (x_of(net, head) + params_.x_bs) -
-                     params_.alpha2 * y_of(net, head, kBaseStationId, bits);
-  const double r_f = reward_failure(net, head, kBaseStationId, bits);
+                     params_.alpha2 * y;
+  const double r_f =
+      -params_.g + params_.beta1 * x_of(net, head) - params_.beta2 * y;
   const double rt = p * r_s + (1.0 - p) * r_f;
   double& v_head = v_slot(head);
   const double next =

@@ -66,6 +66,8 @@ class QlecRouter {
   double x_of(const Network& net, int node_or_bs) const;
   /// Normalized transmission cost y(src, target).
   double y_of(const Network& net, int src, int target, double bits) const;
+  /// y_of through the per-round memo below; bit-identical to y_of.
+  double y_cached(const Network& net, int src, int target, double bits);
   double& v_slot(int node_or_bs);
 
   QlecParams params_;
@@ -76,6 +78,28 @@ class QlecRouter {
   std::vector<int> heads_;
   std::size_t q_evals_ = 0;
   double max_v_delta_ = 0.0;
+
+  // ---- Hot-path state (no behavioural effect) ----
+  // Scratch action list rebuilt by each choose_target call; a member so the
+  // per-packet path allocates nothing once warm.
+  std::vector<int> actions_;
+  // Per-round memo of y_of(src, target, bits): y depends only on geometry
+  // (positions are fixed within a round) and `bits`, so each (src, action)
+  // pair is computed once per round instead of once per Q evaluation. Rows
+  // are validated lazily via tokens: an entry is live iff its token matches
+  // its row's token, and a row gets a fresh token whenever the round or the
+  // row's `bits` changes — O(1) invalidation, no per-round clearing of the
+  // value arrays. Slot layout: heads_[i] -> slot i, BS -> slot
+  // heads_.size(); `slot_of_` maps a head id to its slot this round.
+  std::uint32_t round_serial_ = 0;
+  std::uint32_t token_counter_ = 0;
+  std::size_t stride_ = 0;  // max actions per source seen so far
+  std::vector<std::int32_t> slot_of_;
+  std::vector<double> y_val_;
+  std::vector<std::uint32_t> y_token_;
+  std::vector<std::uint32_t> row_token_;
+  std::vector<std::uint32_t> row_round_;
+  std::vector<double> row_bits_;
 };
 
 }  // namespace qlec

@@ -20,7 +20,14 @@ SpatialGrid::CellKey SpatialGrid::key_for(const Vec3& p) const {
 std::vector<std::size_t> SpatialGrid::query(const Vec3& center,
                                             double radius) const {
   std::vector<std::size_t> out;
-  if (radius < 0.0) return out;
+  query_into(center, radius, out);
+  return out;
+}
+
+void SpatialGrid::query_into(const Vec3& center, double radius,
+                             std::vector<std::size_t>& out) const {
+  out.clear();
+  if (radius < 0.0) return;
   const double r2 = radius * radius;
   const CellKey lo = key_for(center - Vec3{radius, radius, radius});
   const CellKey hi = key_for(center + Vec3{radius, radius, radius});
@@ -34,7 +41,6 @@ std::vector<std::size_t> SpatialGrid::query(const Vec3& center,
       }
     }
   }
-  return out;
 }
 
 std::vector<std::size_t> SpatialGrid::neighbours_of(std::size_t i,

@@ -23,6 +23,10 @@ class SpatialGrid {
 
   /// Indices of all points within `radius` of `center` (inclusive).
   std::vector<std::size_t> query(const Vec3& center, double radius) const;
+  /// Allocation-free variant: clears `out` and refills it (for hot loops
+  /// issuing many queries with a reused buffer).
+  void query_into(const Vec3& center, double radius,
+                  std::vector<std::size_t>& out) const;
 
   /// Indices within `radius` of point `i`, excluding `i` itself.
   std::vector<std::size_t> neighbours_of(std::size_t i, double radius) const;

@@ -30,15 +30,19 @@ LinkEstimator::LinkEstimator(std::size_t window, double prior_successes,
       prior_s_(std::max(prior_successes, 0.0)),
       prior_n_(std::max(prior_attempts, 1e-9)) {}
 
-std::uint64_t LinkEstimator::key(int from, int to) noexcept {
-  // Shift ids so the BS sentinel (-1) maps cleanly.
+namespace {
+
+// Packs a (from, to) pair for the negative-id fallback map; ids are shifted
+// so the BS sentinel (-1) maps cleanly.
+std::uint64_t pair_key(int from, int to) noexcept {
   const auto f = static_cast<std::uint64_t>(static_cast<std::uint32_t>(from + 2));
   const auto t = static_cast<std::uint64_t>(static_cast<std::uint32_t>(to + 2));
   return (f << 32) | t;
 }
 
-void LinkEstimator::record(int from, int to, bool success) {
-  Window& w = links_[key(from, to)];
+}  // namespace
+
+void LinkEstimator::push_outcome(Window& w, bool success) noexcept {
   if (w.count == window_) {
     // Evict the oldest outcome (highest tracked bit).
     const std::uint64_t oldest = (w.bits >> (window_ - 1)) & 1ULL;
@@ -51,19 +55,49 @@ void LinkEstimator::record(int from, int to, bool success) {
   w.successes += static_cast<std::size_t>(success ? 1 : 0);
 }
 
+const LinkEstimator::Window* LinkEstimator::find(int from,
+                                                 int to) const noexcept {
+  if (from < 0) {
+    const auto it = other_.find(pair_key(from, to));
+    return it == other_.end() ? nullptr : &it->second;
+  }
+  const auto src = static_cast<std::size_t>(from);
+  if (src >= by_src_.size()) return nullptr;
+  for (const Entry& e : by_src_[src])
+    if (e.to == to) return &e.w;
+  return nullptr;
+}
+
+void LinkEstimator::record(int from, int to, bool success) {
+  if (from < 0) {
+    push_outcome(other_[pair_key(from, to)], success);
+    return;
+  }
+  const auto src = static_cast<std::size_t>(from);
+  if (src >= by_src_.size()) by_src_.resize(src + 1);
+  for (Entry& e : by_src_[src]) {
+    if (e.to == to) {
+      push_outcome(e.w, success);
+      return;
+    }
+  }
+  by_src_[src].push_back(Entry{to, Window{}});
+  push_outcome(by_src_[src].back().w, success);
+}
+
 double LinkEstimator::estimate(int from, int to) const {
-  const auto it = links_.find(key(from, to));
-  if (it == links_.end()) return prior_s_ / prior_n_;
-  const Window& w = it->second;
-  return (static_cast<double>(w.successes) + prior_s_) /
-         (static_cast<double>(w.count) + prior_n_);
+  const Window* w = find(from, to);
+  return w == nullptr ? prior_s_ / prior_n_ : window_estimate(*w);
 }
 
 std::size_t LinkEstimator::observations(int from, int to) const {
-  const auto it = links_.find(key(from, to));
-  return it == links_.end() ? 0 : it->second.count;
+  const Window* w = find(from, to);
+  return w == nullptr ? 0 : w->count;
 }
 
-void LinkEstimator::clear() { links_.clear(); }
+void LinkEstimator::clear() {
+  by_src_.clear();
+  other_.clear();
+}
 
 }  // namespace qlec

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -33,6 +34,14 @@ struct LinkModel {
 /// Sliding-window per-link success estimator. Keyed by (from, to) node ids;
 /// starts from an optimistic prior so unexplored links get tried (classic
 /// optimism-in-the-face-of-uncertainty).
+///
+/// Storage is a flat per-source array of small contiguous entry lists
+/// rather than one global hash map: estimate() sits on the innermost
+/// Q-evaluation loop (one call per candidate head per packet), and a source
+/// only ever observes a handful of distinct targets, so a linear scan of a
+/// tiny cache-resident vector beats a hash lookup by a wide margin. Sources
+/// with a negative id (never produced by the simulator) fall back to a side
+/// map so the estimator stays total over all int pairs.
 class LinkEstimator {
  public:
   /// `window` = number of most recent attempts remembered per link;
@@ -57,12 +66,23 @@ class LinkEstimator {
     std::size_t count = 0;    // valid bits (<= window size)
     std::size_t successes = 0;
   };
-  static std::uint64_t key(int from, int to) noexcept;
+  struct Entry {
+    int to = 0;
+    Window w;
+  };
+
+  double window_estimate(const Window& w) const noexcept {
+    return (static_cast<double>(w.successes) + prior_s_) /
+           (static_cast<double>(w.count) + prior_n_);
+  }
+  void push_outcome(Window& w, bool success) noexcept;
+  const Window* find(int from, int to) const noexcept;
 
   std::size_t window_;
   double prior_s_;
   double prior_n_;
-  std::unordered_map<std::uint64_t, Window> links_;
+  std::vector<std::vector<Entry>> by_src_;            // index == from (>= 0)
+  std::unordered_map<std::uint64_t, Window> other_;   // from < 0 fallback
 };
 
 }  // namespace qlec

@@ -47,9 +47,14 @@ std::size_t Network::alive_count(double death_line) const {
 
 std::vector<int> Network::head_ids() const {
   std::vector<int> out;
+  head_ids_into(out);
+  return out;
+}
+
+void Network::head_ids_into(std::vector<int>& out) const {
+  out.clear();
   for (const SensorNode& n : nodes_)
     if (n.is_head) out.push_back(n.id);
-  return out;
 }
 
 void Network::reset_heads() {

@@ -44,6 +44,9 @@ class Network {
   std::size_t alive_count(double death_line) const;
   /// Ids currently flagged as cluster heads.
   std::vector<int> head_ids() const;
+  /// Allocation-free variant: clears `out` and refills it with the current
+  /// head ids (for per-round buffers reused across rounds).
+  void head_ids_into(std::vector<int>& out) const;
   /// Clears every is_head flag (start of an election round).
   void reset_heads();
 

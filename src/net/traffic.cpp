@@ -15,7 +15,14 @@ PoissonTraffic::PoissonTraffic(std::size_t nodes, double mean_interarrival,
 std::vector<std::size_t> PoissonTraffic::arrivals_in_slot(std::int64_t slot,
                                                           Rng& rng) {
   std::vector<std::size_t> out;
-  if (mean_ <= 0.0) return out;
+  arrivals_into(slot, rng, out);
+  return out;
+}
+
+void PoissonTraffic::arrivals_into(std::int64_t slot, Rng& rng,
+                                   std::vector<std::size_t>& out) {
+  out.clear();
+  if (mean_ <= 0.0) return;
   const double slot_end = static_cast<double>(slot) + 1.0;
   for (std::size_t i = 0; i < next_arrival_.size(); ++i) {
     while (next_arrival_[i] < slot_end) {
@@ -23,7 +30,6 @@ std::vector<std::size_t> PoissonTraffic::arrivals_in_slot(std::int64_t slot,
       next_arrival_[i] += rng.exponential(mean_);
     }
   }
-  return out;
 }
 
 }  // namespace qlec

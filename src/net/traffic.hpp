@@ -24,6 +24,12 @@ class PoissonTraffic {
   /// can appear multiple times if several arrivals land in one slot.
   std::vector<std::size_t> arrivals_in_slot(std::int64_t slot, Rng& rng);
 
+  /// Allocation-free variant: clears `out` and refills it with this slot's
+  /// arrivals. Draw order (node id ascending, then arrival time) is
+  /// identical to arrivals_in_slot, so mixing the two is seed-stable.
+  void arrivals_into(std::int64_t slot, Rng& rng,
+                     std::vector<std::size_t>& out);
+
   double mean_interarrival() const noexcept { return mean_; }
 
  private:

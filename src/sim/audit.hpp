@@ -65,7 +65,7 @@ struct AuditReport {
   std::string summary() const;
 };
 
-/// Thrown on the first violation when SimConfig::audit_throw is set.
+/// Thrown on the first violation when AuditOptions::throw_on_violation is set.
 class AuditError : public std::runtime_error {
  public:
   explicit AuditError(const AuditViolation& v)

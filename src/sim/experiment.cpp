@@ -15,7 +15,7 @@ Network build_network(const ExperimentConfig& cfg, std::uint64_t seed) {
 
 std::vector<SimResult> run_replications(const std::string& protocol_name,
                                         const ExperimentConfig& cfg,
-                                        ThreadPool* pool) {
+                                        const ExecPolicy& exec) {
   std::vector<SimResult> results(cfg.seeds);
   // Protocols and simulator must agree on what "dead" means; the sim's
   // death line is authoritative for the whole experiment.
@@ -29,8 +29,11 @@ std::vector<SimResult> run_replications(const std::string& protocol_name,
     auto protocol = make_protocol(protocol_name, net, protocol_opts);
     results[i] = run_simulation(net, *protocol, cfg.sim, rng);
   };
-  if (pool != nullptr && cfg.seeds > 1) {
-    pool->parallel_for(cfg.seeds, run_one);
+  if (cfg.seeds > 1 && exec.is_borrow()) {
+    exec.borrowed()->parallel_for(cfg.seeds, run_one);
+  } else if (cfg.seeds > 1 && exec.is_pool()) {
+    ThreadPool local(exec.threads());
+    local.parallel_for(cfg.seeds, run_one);
   } else {
     for (std::size_t i = 0; i < cfg.seeds; ++i) run_one(i);
   }
@@ -39,11 +42,27 @@ std::vector<SimResult> run_replications(const std::string& protocol_name,
 
 AggregatedMetrics run_experiment(const std::string& protocol_name,
                                  const ExperimentConfig& cfg,
-                                 ThreadPool* pool) {
+                                 const ExecPolicy& exec) {
   AggregatedMetrics agg;
-  for (const SimResult& r : run_replications(protocol_name, cfg, pool))
+  for (const SimResult& r : run_replications(protocol_name, cfg, exec))
     agg.add(r);
   return agg;
+}
+
+std::vector<SimResult> run_replications(const std::string& protocol_name,
+                                        const ExperimentConfig& cfg,
+                                        ThreadPool* pool) {
+  return run_replications(
+      protocol_name, cfg,
+      pool != nullptr ? ExecPolicy::borrow(*pool) : ExecPolicy::serial());
+}
+
+AggregatedMetrics run_experiment(const std::string& protocol_name,
+                                 const ExperimentConfig& cfg,
+                                 ThreadPool* pool) {
+  return run_experiment(
+      protocol_name, cfg,
+      pool != nullptr ? ExecPolicy::borrow(*pool) : ExecPolicy::serial());
 }
 
 }  // namespace qlec

@@ -1,6 +1,7 @@
 // Multi-seed experiment runner: builds a fresh network per seed, runs the
-// named protocol through the simulator, and aggregates the metrics. Fans
-// out across a thread pool when one is supplied.
+// named protocol through the simulator, and aggregates the metrics. Seed
+// fan-out is controlled by an ExecPolicy value (serial, internally managed
+// pool, or a caller-owned pool).
 #pragma once
 
 #include <cstdint>
@@ -25,16 +26,68 @@ struct ExperimentConfig {
   std::string deployment = "uniform";
 };
 
+/// How the runner fans replications out over seeds. A small value type so
+/// call sites read as `run_experiment(name, cfg, ExecPolicy::pool(8))`
+/// instead of threading raw ThreadPool pointers through every signature.
+/// Seed results are written to per-seed slots, so every policy produces
+/// bit-identical output for a given config.
+class ExecPolicy {
+ public:
+  /// Seeds run one after another on the calling thread (the default).
+  static ExecPolicy serial() noexcept { return ExecPolicy{}; }
+  /// Seeds fan out across an internally managed pool created for the call;
+  /// `threads == 0` uses the hardware-concurrency default.
+  static ExecPolicy pool(std::size_t threads = 0) noexcept {
+    ExecPolicy p;
+    p.mode_ = Mode::kPool;
+    p.threads_ = threads;
+    return p;
+  }
+  /// Seeds fan out across a caller-owned pool (reusable across many calls;
+  /// the policy only borrows it, so `pool` must outlive the run).
+  static ExecPolicy borrow(ThreadPool& pool) noexcept {
+    ExecPolicy p;
+    p.mode_ = Mode::kBorrow;
+    p.borrowed_ = &pool;
+    return p;
+  }
+
+  bool is_serial() const noexcept { return mode_ == Mode::kSerial; }
+  bool is_pool() const noexcept { return mode_ == Mode::kPool; }
+  bool is_borrow() const noexcept { return mode_ == Mode::kBorrow; }
+  /// Requested pool width (kPool only); 0 = hardware default.
+  std::size_t threads() const noexcept { return threads_; }
+  /// The caller-owned pool (kBorrow only), else nullptr.
+  ThreadPool* borrowed() const noexcept { return borrowed_; }
+
+ private:
+  enum class Mode { kSerial, kPool, kBorrow };
+  Mode mode_ = Mode::kSerial;
+  std::size_t threads_ = 0;
+  ThreadPool* borrowed_ = nullptr;
+};
+
 /// Runs `cfg.seeds` independent replications of `protocol_name` and returns
 /// per-seed results (index == seed offset).
-std::vector<SimResult> run_replications(const std::string& protocol_name,
-                                        const ExperimentConfig& cfg,
-                                        ThreadPool* pool = nullptr);
+std::vector<SimResult> run_replications(
+    const std::string& protocol_name, const ExperimentConfig& cfg,
+    const ExecPolicy& exec = ExecPolicy::serial());
 
 /// Convenience: replications + aggregation.
 AggregatedMetrics run_experiment(const std::string& protocol_name,
                                  const ExperimentConfig& cfg,
-                                 ThreadPool* pool = nullptr);
+                                 const ExecPolicy& exec = ExecPolicy::serial());
+
+/// Deprecated raw-pointer overloads, kept one release for out-of-tree
+/// callers: nullptr means serial, non-null borrows the pool.
+[[deprecated("pass an ExecPolicy instead of a raw ThreadPool*")]]
+std::vector<SimResult> run_replications(const std::string& protocol_name,
+                                        const ExperimentConfig& cfg,
+                                        ThreadPool* pool);
+[[deprecated("pass an ExecPolicy instead of a raw ThreadPool*")]]
+AggregatedMetrics run_experiment(const std::string& protocol_name,
+                                 const ExperimentConfig& cfg,
+                                 ThreadPool* pool);
 
 /// Builds the deployment for one seed (exposed for benches that need the
 /// raw network, e.g. the Fig. 4 heat map).

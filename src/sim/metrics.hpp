@@ -58,7 +58,7 @@ struct SimResult {
   /// Total Q evaluations when the protocol is QLEC (0 otherwise).
   std::size_t q_evaluations = 0;
 
-  /// One entry per completed round when SimConfig::record_trace is set;
+  /// One entry per completed round when TraceOptions::record is set;
   /// empty otherwise.
   std::vector<RoundStats> trace;
 

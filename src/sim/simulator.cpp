@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "energy/radio_model.hpp"
@@ -20,6 +19,26 @@ struct Stranded {
   Packet packet;
 };
 
+/// Structure-of-arrays round state (DESIGN.md §8). The per-node facts the
+/// inner loops touch — position, residual energy, liveness, head flag — are
+/// mirrored into flat contiguous arrays indexed by node id, refreshed once
+/// per round after election and written through on every battery mutation.
+/// The authoritative state stays in Network/Battery; the mirrors exist so
+/// the per-packet path never chases SensorNode pointers or recomputes
+/// predicates, and they are kept exact (every value is read back from the
+/// battery right after the mutation), so traces stay bit-identical.
+struct RoundState {
+  std::vector<Vec3> pos;              // position snapshot (post-mobility)
+  std::vector<double> residual;       // battery residual, write-through
+  std::vector<std::uint8_t> alive;    // residual > death_line, write-through
+  std::vector<std::uint8_t> is_head;  // this round's head flags
+  std::vector<int> heads;             // this round's head ids, in id order
+  /// node id -> queue slot in the reusable queue/fused pools below, or -1.
+  /// Flat mode: identity (every node owns a persistent relay buffer).
+  /// Cluster mode: heads[i] -> i, refreshed each round.
+  std::vector<std::int32_t> queue_slot;
+};
+
 class SimRun {
  public:
   SimRun(Network& net, ClusteringProtocol& protocol, const SimConfig& cfg,
@@ -31,12 +50,20 @@ class SimRun {
         radio_(cfg.radio),
         traffic_(net.size(), cfg.mean_interarrival, rng),
         mobility_(cfg.mobility, net.size()),
+        bs_(net.bs()),
         flat_(protocol.flat_routing()) {
     result_.protocol = protocol.name();
-    if (cfg.audit) {
-      result_.energy.enable_per_node(net.size());
+    const std::size_t n = net.size();
+    rs_.pos.resize(n);
+    rs_.residual.resize(n);
+    rs_.alive.resize(n);
+    rs_.is_head.resize(n);
+    rs_.queue_slot.assign(n, -1);
+    if (cfg.audit.enabled) {
+      result_.energy.enable_per_node(n);
       auditor_.emplace(net, cfg.death_line, flat_,
-                       cfg.harvest_per_round > 0.0, cfg.audit_throw);
+                       cfg.harvest_per_round > 0.0,
+                       cfg.audit.throw_on_violation);
     }
   }
 
@@ -44,11 +71,43 @@ class SimRun {
 
  private:
   bool alive(int id) const {
-    return net_.node(id).battery.alive(cfg_.death_line);
+    return rs_.alive[static_cast<std::size_t>(id)] != 0;
+  }
+
+  double dist(int from, int to) const {
+    const Vec3& a = rs_.pos[static_cast<std::size_t>(from)];
+    const Vec3& b = to == kBaseStationId
+                        ? bs_
+                        : rs_.pos[static_cast<std::size_t>(to)];
+    return distance(a, b);
   }
 
   void charge(int id, EnergyUse use, double joules) {
-    result_.energy.charge(use, net_.node(id).battery.consume(joules), id);
+    Battery& b = net_.node(id).battery;
+    result_.energy.charge(use, b.consume(joules), id);
+    sync_battery(id, b);
+  }
+
+  /// Re-reads one node's battery into the SoA mirror (after any mutation).
+  void sync_battery(int id, const Battery& b) {
+    const auto i = static_cast<std::size_t>(id);
+    rs_.residual[i] = b.residual();
+    rs_.alive[i] = b.alive(cfg_.death_line) ? 1 : 0;
+  }
+
+  /// Refreshes the whole round state from the network: positions (mobility
+  /// ran), batteries (the protocol's control phase drained energy), and the
+  /// freshly elected head set.
+  void refresh_round_state() {
+    const std::vector<SensorNode>& nodes = net_.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const SensorNode& n = nodes[i];
+      rs_.pos[i] = n.pos;
+      rs_.residual[i] = n.battery.residual();
+      rs_.alive[i] = n.battery.alive(cfg_.death_line) ? 1 : 0;
+      rs_.is_head[i] = n.is_head ? 1 : 0;
+    }
+    net_.head_ids_into(rs_.heads);
   }
 
   /// Member data path: route + transmit (with retries) + enqueue at a head
@@ -61,7 +120,7 @@ class SimRun {
     double bits = 0.0;
     std::vector<Packet> packets;
   };
-  void deliver_aggregate(int head, HeadBuffer buf);
+  void deliver_aggregate(int head, HeadBuffer& buf);
 
   void record_delivery(Packet& p, std::int64_t slot) {
     p.deliver_slot = slot;
@@ -77,12 +136,22 @@ class SimRun {
   PoissonTraffic traffic_;
   MobilityModel mobility_;
   SimResult result_;
+  const Vec3 bs_;
 
-  std::optional<SimAuditor> auditor_;  // engaged when cfg.audit
-  std::unordered_map<int, PacketQueue> queues_;  // per head (or per node
-                                                 // in flat-routing mode)
-  std::unordered_map<int, HeadBuffer> fused_;    // per current head
+  std::optional<SimAuditor> auditor_;  // engaged when cfg.audit.enabled
+
+  RoundState rs_;
+  // Reusable pools indexed by rs_.queue_slot (grow-only; cleared per round
+  // in cluster mode, persistent per node in flat mode). With these plus the
+  // scratch buffers below, the slot loop performs no allocation once every
+  // container has reached its high-water capacity.
+  std::vector<PacketQueue> queues_;
+  std::vector<HeadBuffer> fused_;
   std::vector<Stranded> carryover_;
+  std::vector<Stranded> injections_;       // last round's carryover
+  std::vector<Stranded> staged_;           // flat-mode two-phase service
+  std::vector<std::size_t> arrivals_;      // per-slot Poisson arrivals
+
   std::int64_t global_slot_ = 0;
   std::uint64_t next_packet_id_ = 0;
   bool flat_ = false;
@@ -101,9 +170,9 @@ void SimRun::deliver_from(int src, Packet p) {
   }
   // A node that is itself a head this round feeds its own cache directly
   // (sensing costs no radio energy).
-  if (net_.node(src).is_head) {
-    auto it = queues_.find(src);
-    if (it != queues_.end() && it->second.push(p)) return;
+  if (rs_.is_head[static_cast<std::size_t>(src)] != 0) {
+    const std::int32_t qs = rs_.queue_slot[static_cast<std::size_t>(src)];
+    if (qs >= 0 && queues_[static_cast<std::size_t>(qs)].push(p)) return;
     ++result_.lost_queue;
     return;
   }
@@ -113,7 +182,7 @@ void SimRun::deliver_from(int src, Packet p) {
     // Re-consult the protocol on every retry: the failed b_i -> b_i
     // transition leaves the agent free to pick a different action.
     const int target = protocol_.route(net_, src, p.bits, rng_);
-    const double d = net_.dist(src, target);
+    const double d = dist(src, target);
     charge(src, EnergyUse::kTransmit, radio_.tx_energy(p.bits, d));
     ++p.hops;
     const bool target_up = target == kBaseStationId || alive(target);
@@ -127,8 +196,8 @@ void SimRun::deliver_from(int src, Packet p) {
     bool ack = link_ok;
     if (link_ok && target != kBaseStationId) {
       charge(target, EnergyUse::kReceive, radio_.rx_energy(p.bits));
-      auto it = queues_.find(target);
-      ack = it != queues_.end() && it->second.push(p);
+      const std::int32_t qs = rs_.queue_slot[static_cast<std::size_t>(target)];
+      ack = qs >= 0 && queues_[static_cast<std::size_t>(qs)].push(p);
     }
     protocol_.on_tx_result(net_, src, target, ack);
     if (ack) {
@@ -148,7 +217,7 @@ void SimRun::deliver_from(int src, Packet p) {
   }
 }
 
-void SimRun::deliver_aggregate(int head, HeadBuffer buf) {
+void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
   if (buf.packets.empty()) return;
   int holder = head;
   int relay_hops = 0;
@@ -164,7 +233,7 @@ void SimRun::deliver_aggregate(int head, HeadBuffer buf) {
     bool success = false;
     bool target_up = false;
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
-      const double d = net_.dist(holder, target);
+      const double d = dist(holder, target);
       charge(holder, EnergyUse::kTransmit, radio_.tx_energy(buf.bits, d));
       target_up = target == kBaseStationId || alive(target);
       success = target_up && (target == kBaseStationId
@@ -191,9 +260,9 @@ void SimRun::deliver_aggregate(int head, HeadBuffer buf) {
     // relay's remaining cache headroom (the multi-hop loss mechanism the
     // paper attributes to the FCM comparator).
     charge(target, EnergyUse::kReceive, radio_.rx_energy(buf.bits));
-    auto it = queues_.find(target);
-    if (it != queues_.end() && cfg_.queue_capacity != 0 &&
-        it->second.size() >= cfg_.queue_capacity) {
+    const std::int32_t qs = rs_.queue_slot[static_cast<std::size_t>(target)];
+    if (qs >= 0 && cfg_.queue_capacity != 0 &&
+        queues_[static_cast<std::size_t>(qs)].size() >= cfg_.queue_capacity) {
       result_.lost_queue += buf.packets.size();
       return;
     }
@@ -210,7 +279,13 @@ SimResult SimRun::run() {
     if (auditor_) auditor_->begin_round(net_, round, result_.energy);
     mobility_.step(net_, cfg_.death_line, rng_);
     protocol_.on_round_start(net_, round, rng_, result_.energy);
-    const std::vector<int> heads = net_.head_ids();
+    // Retire the outgoing round's queue-slot mapping before the refresh
+    // overwrites rs_.heads (flat mode keeps the identity mapping forever).
+    if (!flat_)
+      for (const int h : rs_.heads)
+        rs_.queue_slot[static_cast<std::size_t>(h)] = -1;
+    refresh_round_state();
+    const std::vector<int>& heads = rs_.heads;
     result_.heads_per_round.add(static_cast<double>(heads.size()));
     if (auditor_) auditor_->on_heads_elected(net_, heads);
 
@@ -218,20 +293,29 @@ SimResult SimRun::run() {
       // Flat routing: every node owns a persistent relay buffer (created
       // once; contents carry over rounds naturally).
       if (round == 0) {
-        for (const SensorNode& n : net_.nodes())
-          queues_.emplace(n.id, PacketQueue(cfg_.queue_capacity));
+        queues_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          queues_.emplace_back(cfg_.queue_capacity);
+          rs_.queue_slot[i] = static_cast<std::int32_t>(i);
+        }
       }
     } else {
-      queues_.clear();
-      fused_.clear();
-      for (const int h : heads) {
-        queues_.emplace(h, PacketQueue(cfg_.queue_capacity));
-        fused_.emplace(h, HeadBuffer{});
+      // Cluster mode: slot i serves heads[i]; pools grow to the high-water
+      // head count and are recycled (clear resets contents, keeps storage).
+      while (queues_.size() < heads.size())
+        queues_.emplace_back(cfg_.queue_capacity);
+      if (fused_.size() < heads.size()) fused_.resize(heads.size());
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        rs_.queue_slot[static_cast<std::size_t>(heads[i])] =
+            static_cast<std::int32_t>(i);
+        queues_[i].clear();
+        fused_[i].bits = 0.0;
+        fused_[i].packets.clear();
       }
     }
 
-    std::vector<Stranded> injections;
-    injections.swap(carryover_);
+    injections_.swap(carryover_);
+    carryover_.clear();
 
     for (int slot = 0; slot < cfg_.slots_per_round; ++slot) {
       // (a) flat-mode relay service runs FIRST and two-phase (stage all
@@ -239,27 +323,26 @@ SimResult SimRun::run() {
       // otherwise id-ordered relays would chain a packet to the BS within
       // a single slot.
       if (flat_) {
-        std::vector<Stranded> staged;
-        for (const SensorNode& n : net_.nodes()) {
-          if (!n.battery.alive(cfg_.death_line)) continue;
-          auto it = queues_.find(n.id);
-          if (it == queues_.end()) continue;
+        staged_.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          if (rs_.alive[i] == 0) continue;
+          PacketQueue& q = queues_[i];
           for (int s = 0; s < cfg_.service_per_slot; ++s) {
-            auto p = it->second.pop();
+            auto p = q.pop();
             if (!p) break;
-            staged.push_back(Stranded{n.id, *p});
+            staged_.push_back(Stranded{static_cast<int>(i), *p});
           }
         }
-        for (Stranded& s : staged) deliver_from(s.holder, s.packet);
+        for (Stranded& s : staged_) deliver_from(s.holder, s.packet);
       }
       // (b) stranded packets from the previous round re-enter first.
       if (slot == 0) {
-        for (Stranded& s : injections) deliver_from(s.holder, s.packet);
-        injections.clear();
+        for (Stranded& s : injections_) deliver_from(s.holder, s.packet);
+        injections_.clear();
       }
       // (b) fresh Poisson arrivals.
-      for (const std::size_t src : traffic_.arrivals_in_slot(global_slot_,
-                                                             rng_)) {
+      traffic_.arrivals_into(global_slot_, rng_, arrivals_);
+      for (const std::size_t src : arrivals_) {
         const int id = static_cast<int>(src);
         if (!alive(id)) continue;  // dead sensors stop sensing
         Packet p;
@@ -272,10 +355,11 @@ SimResult SimRun::run() {
       }
       // (d) cluster-mode head service: aggregate into the fused buffer.
       if (!flat_) {
-        for (const int h : heads) {
+        for (std::size_t i = 0; i < heads.size(); ++i) {
+          const int h = heads[i];
           if (!alive(h)) continue;
-          PacketQueue& q = queues_.at(h);
-          HeadBuffer& buf = fused_.at(h);
+          PacketQueue& q = queues_[i];
+          HeadBuffer& buf = fused_[i];
           for (int s = 0; s < cfg_.service_per_slot; ++s) {
             auto p = q.pop();
             if (!p) break;
@@ -292,11 +376,12 @@ SimResult SimRun::run() {
       }
       // (e) idle listening drain.
       if (cfg_.idle_listen_j_per_slot > 0.0) {
-        for (SensorNode& n : net_.nodes()) {
-          if (!n.battery.alive(cfg_.death_line)) continue;
+        for (SensorNode& node : net_.nodes()) {
+          if (!node.battery.alive(cfg_.death_line)) continue;
           result_.energy.charge(
               EnergyUse::kIdle,
-              n.battery.consume(cfg_.idle_listen_j_per_slot), n.id);
+              node.battery.consume(cfg_.idle_listen_j_per_slot), node.id);
+          sync_battery(node.id, node.battery);
         }
       }
       ++global_slot_;
@@ -304,13 +389,14 @@ SimResult SimRun::run() {
 
     if (!flat_) {
       // (d) round-end uplinks.
-      for (const int h : heads)
-        deliver_aggregate(h, std::move(fused_.at(h)));
+      for (std::size_t i = 0; i < heads.size(); ++i)
+        deliver_aggregate(heads[i], fused_[i]);
 
       // (e) leftover cache content strands to next round (the ex-head
       // re-routes it as an ordinary member), unless the holder died.
-      for (const int h : heads) {
-        PacketQueue& q = queues_.at(h);
+      for (std::size_t i = 0; i < heads.size(); ++i) {
+        const int h = heads[i];
+        PacketQueue& q = queues_[i];
         while (auto p = q.pop()) {
           if (alive(h)) {
             carryover_.push_back(Stranded{h, *p});
@@ -322,10 +408,11 @@ SimResult SimRun::run() {
     }
 
     if (cfg_.harvest_per_round > 0.0) {
-      for (SensorNode& n : net_.nodes()) {
-        if (!n.battery.alive(cfg_.death_line)) continue;
-        const double restored = n.battery.recharge(cfg_.harvest_per_round);
-        if (auditor_) auditor_->on_harvest(n.id, restored);
+      for (SensorNode& node : net_.nodes()) {
+        if (!node.battery.alive(cfg_.death_line)) continue;
+        const double restored = node.battery.recharge(cfg_.harvest_per_round);
+        sync_battery(node.id, node.battery);
+        if (auditor_) auditor_->on_harvest(node.id, restored);
       }
     }
 
@@ -334,16 +421,14 @@ SimResult SimRun::run() {
 
     if (auditor_) {
       std::uint64_t in_flight = carryover_.size();
-      for (const auto& [id, q] : queues_) {
-        (void)id;
-        in_flight += q.size();
-      }
+      const std::size_t active = flat_ ? queues_.size() : heads.size();
+      for (std::size_t i = 0; i < active; ++i) in_flight += queues_[i].size();
       auditor_->end_round(net_, result_.energy, result_, in_flight);
     }
 
     // (f) lifespan bookkeeping.
     const std::size_t alive_now = net_.alive_count(cfg_.death_line);
-    if (cfg_.record_trace) {
+    if (cfg_.trace.record) {
       result_.trace.push_back(RoundStats{
           round, alive_now, heads.size(), net_.total_residual_energy(),
           result_.generated, result_.delivered});
@@ -355,16 +440,14 @@ SimResult SimRun::run() {
     if (result_.last_death_round < 0 && alive_now == 0)
       result_.last_death_round = round;
     if (alive_now == 0) break;
-    if (cfg_.stop_at_first_death && result_.first_death_round >= 0) break;
+    if (cfg_.trace.stop_at_first_death && result_.first_death_round >= 0)
+      break;
   }
 
   // Packets still stranded when the run ends never reached the BS.
   result_.lost_dead += carryover_.size();
   if (flat_) {
-    for (auto& [id, q] : queues_) {
-      (void)id;
-      result_.lost_dead += q.size();
-    }
+    for (const PacketQueue& q : queues_) result_.lost_dead += q.size();
   }
 
   result_.per_node_consumed.reserve(n);

@@ -3,7 +3,8 @@
 // relay (bounded head caches, lossy links, ACK feedback), heads service and
 // aggregate their queues, and at round end each head pushes its fused
 // aggregate toward the BS (directly, or over a multi-hop head chain for
-// hierarchical protocols). See DESIGN.md §3 for the model rationale.
+// hierarchical protocols). See DESIGN.md §3 for the model rationale and §8
+// for the structure-of-arrays round state the inner loop runs on.
 #pragma once
 
 #include "energy/radio_model.hpp"
@@ -26,6 +27,25 @@ enum class Aggregation {
   kFixedSummary,   ///< uplink bits = packet_bits per head per round (Eq. 6)
 };
 
+/// Invariant-checking switches (sim/audit.hpp). Purely observational: an
+/// audited run produces the identical trace.
+struct AuditOptions {
+  /// Run the SimAuditor checks every round and at end-of-run; the outcome
+  /// lands in SimResult::audit.
+  bool enabled = false;
+  /// Throw AuditError on the first violation instead of accumulating them
+  /// into the report.
+  bool throw_on_violation = false;
+};
+
+/// Trajectory-recording and early-stop switches.
+struct TraceOptions {
+  /// Record a per-round RoundStats trace into SimResult::trace.
+  bool record = false;
+  /// Stop simulating once the first node dies (lifespan experiments).
+  bool stop_at_first_death = false;
+};
+
 struct SimConfig {
   int rounds = 20;            ///< R (paper §5.1 uses 20)
   int slots_per_round = 20;   ///< time resolution within a round
@@ -38,8 +58,6 @@ struct SimConfig {
   double compression = 0.5;         ///< Table 2: 50% fusion ratio
   Aggregation aggregation = Aggregation::kRatioCompress;
   double death_line = 0.0;          ///< node dies at residual <= this
-  /// Stop simulating once the first node dies (lifespan experiments).
-  bool stop_at_first_death = false;
   /// Extra transmission attempts after a failed (un-ACKed) send. Each retry
   /// re-consults the protocol, matching the b_i -> b_i self-transition of
   /// the QLEC MDP.
@@ -52,18 +70,11 @@ struct SimConfig {
   /// Energy harvested back per node per round, joules (harvesting-aware
   /// scenarios a la HyDRO). Recharge caps at the initial capacity.
   double harvest_per_round = 0.0;
-  /// Record a per-round RoundStats trace into SimResult::trace.
-  bool record_trace = false;
   /// Idle-listening drain per alive node per slot, joules (radio duty
   /// cycling; 0 = perfect sleep scheduling, the paper's implicit model).
   double idle_listen_j_per_slot = 0.0;
-  /// Run the SimAuditor invariant checks (sim/audit.hpp) every round and at
-  /// end-of-run; the outcome lands in SimResult::audit. Purely
-  /// observational — an audited run produces the identical trace.
-  bool audit = false;
-  /// With `audit`: throw AuditError on the first violation instead of
-  /// accumulating them into the report.
-  bool audit_throw = false;
+  AuditOptions audit;
+  TraceOptions trace;
 };
 
 /// Runs the full simulation, mutating `net` (battery drain, head flags).

@@ -1,0 +1,67 @@
+// Typed accessors for the QLEC_* environment knobs. Every env var the
+// benches, tests, and perf harness consult is declared here, so the full
+// set of runtime switches is greppable in one place:
+//
+//   QLEC_BENCH_SEEDS=<n>     replications per bench point (default 5)
+//   QLEC_BENCH_FAST=1        shrink bench runs for smoke testing
+//   QLEC_REGEN_GOLDEN=1      rewrite tests/golden/ digests instead of
+//                            comparing (golden-trace harness)
+//   QLEC_PERF_REPEATS=<n>    timed repetitions per perf-bench case
+//   QLEC_PERF_BASELINE=<p>   baseline BENCH_scaling.json to embed for
+//                            speedup reporting
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace qlec::env {
+
+/// True when `name` is set to anything but "" or "0" (the conventional
+/// QLEC_FOO=1 switch; QLEC_FOO=0 is an explicit off).
+inline bool flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/// Integer knob: parses `name` as base-10; returns `fallback` when unset,
+/// empty, unparsable, or non-positive (all knobs here are counts).
+inline long positive_int(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  return (end != v && n > 0) ? n : fallback;
+}
+
+/// String knob: returns `fallback` when unset.
+inline std::string str(const char* name, const std::string& fallback = {}) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+// ---- The knobs themselves ----
+
+/// QLEC_BENCH_FAST: shrink bench/perf runs for smoke testing.
+inline bool bench_fast() { return flag("QLEC_BENCH_FAST"); }
+
+/// QLEC_BENCH_SEEDS: replications per bench point (fast mode halves the
+/// default instead when the var is unset).
+inline std::size_t bench_seeds(std::size_t def = 5) {
+  const long n = positive_int("QLEC_BENCH_SEEDS", 0);
+  if (n > 0) return static_cast<std::size_t>(n);
+  return bench_fast() ? 2 : def;
+}
+
+/// QLEC_REGEN_GOLDEN: rewrite the committed golden-trace digests.
+inline bool regen_golden() { return flag("QLEC_REGEN_GOLDEN"); }
+
+/// QLEC_PERF_REPEATS: timed repetitions per perf-bench case.
+inline std::size_t perf_repeats(std::size_t def) {
+  return static_cast<std::size_t>(
+      positive_int("QLEC_PERF_REPEATS", static_cast<long>(def)));
+}
+
+/// QLEC_PERF_BASELINE: path to a baseline BENCH_scaling.json to embed.
+inline std::string perf_baseline() { return str("QLEC_PERF_BASELINE"); }
+
+}  // namespace qlec::env

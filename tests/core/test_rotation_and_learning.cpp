@@ -69,7 +69,7 @@ TEST(Learning, LinkEstimatesImproveDeliveryOverEarlyRounds) {
   cfg.sim.rounds = 21;
   cfg.sim.slots_per_round = 20;
   cfg.sim.mean_interarrival = 2.5;
-  cfg.sim.record_trace = true;
+  cfg.sim.trace.record = true;
   cfg.seeds = 3;
   cfg.protocol.qlec.total_rounds = 21;
   RunningStats early, late;

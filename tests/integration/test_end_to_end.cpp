@@ -59,7 +59,7 @@ TEST(EndToEnd, LifespanQlecOutlastsKmeans) {
   // first node dies (Fig. 3(c) metric).
   ExperimentConfig cfg = paper_like(4.0, /*rounds=*/400, /*seeds=*/3);
   cfg.scenario.initial_energy = 3.0;
-  cfg.sim.stop_at_first_death = true;
+  cfg.sim.trace.stop_at_first_death = true;
   // R = a-priori lifespan estimate for the Eq. 2 / Eq. 4 schedules.
   cfg.protocol.qlec.total_rounds = 60;
   const AggregatedMetrics q = run_experiment("qlec", cfg);

@@ -16,7 +16,7 @@ ExperimentConfig audited_config() {
   cfg.scenario.n = 30;
   cfg.sim.rounds = 6;
   cfg.sim.slots_per_round = 10;
-  cfg.sim.audit = true;
+  cfg.sim.audit.enabled = true;
   cfg.seeds = 2;
   cfg.protocol.qlec.total_rounds = 6;
   return cfg;
@@ -29,7 +29,7 @@ TEST(SimAuditor, AcceptanceSweepAllProtocols100Nodes20Rounds5Seeds) {
   ExperimentConfig cfg;
   cfg.scenario.n = 100;
   cfg.sim.rounds = 20;
-  cfg.sim.audit = true;
+  cfg.sim.audit.enabled = true;
   cfg.seeds = 5;
   cfg.protocol.qlec.total_rounds = 20;
   for (const std::string& name : protocol_names()) {
@@ -179,11 +179,11 @@ TEST(SimAuditor, ThrowModeRaisesAuditError) {
 }
 
 TEST(SimAuditor, ThrowModePropagatesOutOfSimulation) {
-  // audit_throw surfaces the violation to the caller of run_simulation; on
+  // throw_on_violation surfaces the violation to the caller of run_simulation; on
   // a correct simulator nothing throws, so assert the plumbing by running
   // a clean config and checking it completes with an ok report.
   ExperimentConfig cfg = audited_config();
-  cfg.sim.audit_throw = true;
+  cfg.sim.audit.throw_on_violation = true;
   cfg.seeds = 1;
   const auto results = run_replications("leach", cfg);
   EXPECT_TRUE(results[0].audit.ok());
@@ -203,7 +203,7 @@ TEST(SimAuditor, ReportSummaryFormats) {
 
 TEST(SimAuditor, DisabledByDefault) {
   ExperimentConfig cfg = audited_config();
-  cfg.sim.audit = false;
+  cfg.sim.audit.enabled = false;
   const auto results = run_replications("kmeans", cfg);
   EXPECT_EQ(results[0].audit.rounds_audited, 0);
   EXPECT_FALSE(results[0].audit.finalized);

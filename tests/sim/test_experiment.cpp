@@ -50,10 +50,9 @@ TEST(Experiment, SeedsDifferButAreReproducible) {
 }
 
 TEST(Experiment, ThreadPoolMatchesSerial) {
-  ThreadPool pool(2);
   const auto serial = run_replications("kmeans", fast_experiment());
-  const auto parallel =
-      run_replications("kmeans", fast_experiment(), &pool);
+  const auto parallel = run_replications("kmeans", fast_experiment(),
+                                         ExecPolicy::pool(2));
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].generated, parallel[i].generated);
@@ -85,6 +84,55 @@ TEST(Experiment, UnknownProtocolThrows) {
   EXPECT_THROW(run_replications("nope", fast_experiment()),
                std::invalid_argument);
 }
+
+TEST(ExecPolicyApi, ModesExposeTheirConfiguration) {
+  const ExecPolicy s = ExecPolicy::serial();
+  EXPECT_TRUE(s.is_serial());
+  EXPECT_FALSE(s.is_pool());
+  EXPECT_EQ(s.borrowed(), nullptr);
+
+  const ExecPolicy p = ExecPolicy::pool(6);
+  EXPECT_TRUE(p.is_pool());
+  EXPECT_EQ(p.threads(), 6u);
+  EXPECT_EQ(ExecPolicy::pool().threads(), 0u);  // 0 = hardware default
+
+  ThreadPool tp(1);
+  const ExecPolicy b = ExecPolicy::borrow(tp);
+  EXPECT_TRUE(b.is_borrow());
+  EXPECT_EQ(b.borrowed(), &tp);
+}
+
+TEST(ExecPolicyApi, BorrowedPoolMatchesSerial) {
+  ThreadPool tp(2);
+  const auto serial = run_replications("kmeans", fast_experiment());
+  const auto borrowed = run_replications("kmeans", fast_experiment(),
+                                         ExecPolicy::borrow(tp));
+  ASSERT_EQ(serial.size(), borrowed.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].generated, borrowed[i].generated);
+    EXPECT_EQ(serial[i].delivered, borrowed[i].delivered);
+    EXPECT_DOUBLE_EQ(serial[i].total_energy_consumed,
+                     borrowed[i].total_energy_consumed);
+  }
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ExecPolicyApi, DeprecatedPointerOverloadStillWorks) {
+  // Out-of-tree callers migrating from the ThreadPool* signature: nullptr
+  // runs serial, a pool pointer borrows it. Same results either way.
+  ThreadPool tp(2);
+  const auto via_null = run_replications("kmeans", fast_experiment(),
+                                         static_cast<ThreadPool*>(nullptr));
+  const auto via_pool = run_replications("kmeans", fast_experiment(), &tp);
+  const AggregatedMetrics agg =
+      run_experiment("kmeans", fast_experiment(), &tp);
+  ASSERT_EQ(via_null.size(), via_pool.size());
+  for (std::size_t i = 0; i < via_null.size(); ++i)
+    EXPECT_EQ(via_null[i].generated, via_pool[i].generated);
+  EXPECT_EQ(agg.pdr.count(), 3u);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace qlec

@@ -12,13 +12,13 @@
 // and commit the rewritten tests/golden/ files with the change.
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hpp"
+#include "util/env.hpp"
 
 namespace qlec {
 namespace {
@@ -34,7 +34,7 @@ ExperimentConfig golden_config() {
   cfg.scenario.n = 40;
   cfg.sim.rounds = 10;
   cfg.sim.slots_per_round = 10;
-  cfg.sim.record_trace = true;
+  cfg.sim.trace.record = true;
   cfg.seeds = 2;
   cfg.base_seed = 42;
   cfg.protocol.qlec.total_rounds = 10;
@@ -45,9 +45,10 @@ std::string golden_path(const std::string& protocol) {
   return std::string(QLEC_GOLDEN_DIR) + "/" + protocol + ".digest";
 }
 
-std::vector<std::string> digests_for(const std::string& protocol,
-                                     ThreadPool* pool = nullptr) {
-  const auto results = run_replications(protocol, golden_config(), pool);
+std::vector<std::string> digests_for(
+    const std::string& protocol,
+    const ExecPolicy& exec = ExecPolicy::serial()) {
+  const auto results = run_replications(protocol, golden_config(), exec);
   std::vector<std::string> out;
   out.reserve(results.size());
   for (const SimResult& r : results) out.push_back(trace_digest_hex(r.trace));
@@ -92,12 +93,13 @@ TEST(GoldenTraces, SameSeedRerunsAreBitIdentical) {
 
 TEST(GoldenTraces, SerialMatchesThreadPoolFanout) {
   ThreadPool pool(3);
+  const ExecPolicy borrowed = ExecPolicy::borrow(pool);
   for (const std::string& name : protocol_names())
-    EXPECT_EQ(digests_for(name), digests_for(name, &pool)) << name;
+    EXPECT_EQ(digests_for(name), digests_for(name, borrowed)) << name;
 }
 
 TEST(GoldenTraces, MatchesCommittedDigests) {
-  const bool regen = std::getenv("QLEC_REGEN_GOLDEN") != nullptr;
+  const bool regen = env::regen_golden();
   for (const std::string& name : protocol_names()) {
     const std::vector<std::string> now = digests_for(name);
     if (regen) {
@@ -123,7 +125,7 @@ TEST(GoldenTraces, AuditedRunProducesIdenticalTrace) {
                                   std::string("qelar")}) {
     const auto plain = run_replications(name, cfg);
     ExperimentConfig audited_cfg = cfg;
-    audited_cfg.sim.audit = true;
+    audited_cfg.sim.audit.enabled = true;
     const auto audited = run_replications(name, audited_cfg);
     ASSERT_EQ(plain.size(), audited.size());
     for (std::size_t i = 0; i < plain.size(); ++i) {

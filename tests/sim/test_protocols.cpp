@@ -221,7 +221,7 @@ ExperimentConfig ledger_config() {
   cfg.scenario.n = 40;
   cfg.sim.rounds = 6;
   cfg.sim.slots_per_round = 10;
-  cfg.sim.audit = true;
+  cfg.sim.audit.enabled = true;
   cfg.seeds = 1;
   cfg.protocol.qlec.total_rounds = 6;
   return cfg;

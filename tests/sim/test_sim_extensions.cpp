@@ -49,7 +49,7 @@ TEST(SimExtensions, HarvestingExtendsLifespan) {
   drained.scenario.initial_energy = 0.3;
   drained.sim.rounds = 150;
   drained.sim.mean_interarrival = 4.0;
-  drained.sim.stop_at_first_death = true;
+  drained.sim.trace.stop_at_first_death = true;
   drained.protocol.qlec.total_rounds = 40;
   ExperimentConfig harvested = drained;
   harvested.sim.harvest_per_round = 0.05;  // solar top-up

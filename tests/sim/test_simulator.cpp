@@ -134,7 +134,7 @@ TEST(Simulator, StopAtFirstDeathHaltsEarly) {
   SimConfig cfg = fast_config();
   cfg.rounds = 1000;
   cfg.mean_interarrival = 1.0;
-  cfg.stop_at_first_death = true;
+  cfg.trace.stop_at_first_death = true;
   Rng sim_rng(18);
   const SimResult r = run_simulation(net, proto, cfg, sim_rng);
   ASSERT_GE(r.first_death_round, 0);

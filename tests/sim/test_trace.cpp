@@ -11,7 +11,7 @@ ExperimentConfig traced_config() {
   cfg.scenario.n = 30;
   cfg.sim.rounds = 8;
   cfg.sim.slots_per_round = 10;
-  cfg.sim.record_trace = true;
+  cfg.sim.trace.record = true;
   cfg.seeds = 1;
   cfg.protocol.qlec.total_rounds = 8;
   return cfg;
@@ -19,7 +19,7 @@ ExperimentConfig traced_config() {
 
 TEST(Trace, DisabledByDefault) {
   ExperimentConfig cfg = traced_config();
-  cfg.sim.record_trace = false;
+  cfg.sim.trace.record = false;
   const auto results = run_replications("kmeans", cfg);
   EXPECT_TRUE(results[0].trace.empty());
 }
