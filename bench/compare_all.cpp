@@ -16,7 +16,8 @@ int main() {
     std::printf("=== All protocols at lambda=%.0f (%s) ===\n", lambda,
                 lambda > 4.0 ? "idle" : "congested");
     TextTable t({"protocol", "PDR", "energy (J)", "latency (slots)",
-                 "heads/round", "lifespan FND"});
+                 "heads/round", "lost link", "lost queue", "lost dead",
+                 "lifespan FND"});
     for (const std::string& name : protocol_names()) {
       const AggregatedMetrics m =
           run_experiment(name, bench::paper_config(lambda), exec);
@@ -27,6 +28,9 @@ int main() {
                  fmt_double(m.total_energy.mean(), 3),
                  fmt_double(m.mean_latency.mean(), 1),
                  fmt_double(m.heads_per_round.mean(), 1),
+                 fmt_double(m.lost_link.mean(), 1),
+                 fmt_double(m.lost_queue.mean(), 1),
+                 fmt_double(m.lost_dead.mean(), 1),
                  fmt_pm(life.first_death.mean(),
                         life.first_death.ci95_halfwidth(), 0)});
     }

@@ -28,7 +28,7 @@ std::vector<int> leach_elect(Network& net, double p, int round, Rng& rng,
   int best_fallback = kBaseStationId;
   double best_energy = -1.0;
   for (SensorNode& n : net.nodes()) {
-    if (!n.battery.alive(death_line)) continue;
+    if (!n.operational(death_line)) continue;
     if (n.battery.residual() > best_energy) {
       best_energy = n.battery.residual();
       best_fallback = n.id;

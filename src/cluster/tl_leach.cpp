@@ -15,7 +15,7 @@ TlLeachLevels tl_leach_elect(Network& net, double p_primary,
   int best_fallback = kBaseStationId;
   double best_energy = -1.0;
   for (SensorNode& n : net.nodes()) {
-    if (!n.battery.alive(death_line)) continue;
+    if (!n.operational(death_line)) continue;
     if (n.battery.residual() > best_energy) {
       best_energy = n.battery.residual();
       best_fallback = n.id;
@@ -51,7 +51,7 @@ int tl_leach_primary_for(const Network& net, const TlLeachLevels& levels,
   double best_d = std::numeric_limits<double>::infinity();
   for (const int p : levels.primaries) {
     if (p == secondary) continue;
-    if (!net.node(p).battery.alive(death_line)) continue;
+    if (!net.node(p).operational(death_line)) continue;
     const double d = net.dist(secondary, p);
     if (d < best_d) {
       best_d = d;

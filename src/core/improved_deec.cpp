@@ -32,7 +32,7 @@ std::vector<int> improved_deec_elect(Network& net,
   int best_fallback = kBaseStationId;
   double best_energy = -1.0;
   for (SensorNode& n : net.nodes()) {
-    if (!n.battery.alive(death_line)) continue;
+    if (!n.operational(death_line)) continue;
     ++local.alive;
     if (n.battery.residual() > best_energy) {
       best_energy = n.battery.residual();
@@ -105,7 +105,7 @@ std::vector<int> improved_deec_elect(Network& net,
       // Candidates sorted by residual energy, richest first.
       std::vector<int> candidates;
       for (const SensorNode& n : net.nodes()) {
-        if (n.is_head || !n.battery.alive(death_line)) continue;
+        if (n.is_head || !n.operational(death_line)) continue;
         const double p_i =
             deec_probability(cfg.p_opt, n.battery.residual(), avg);
         if (!deec_eligible(n.last_head_round, round, p_i))

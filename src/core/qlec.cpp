@@ -55,7 +55,7 @@ void QlecProtocol::on_round_start(Network& net, int round, Rng& rng,
         const int jid = static_cast<int>(j);
         if (jid == h) continue;
         SensorNode& nbr = net.node(jid);
-        if (!nbr.battery.alive(death_line_)) continue;
+        if (!nbr.operational(death_line_)) continue;
         const double rx = radio_.rx_energy(params_.hello_bits);
         ledger.charge(EnergyUse::kControl, nbr.battery.consume(rx), jid);
       }

@@ -12,6 +12,7 @@ const char* energy_use_name(EnergyUse u) {
     case EnergyUse::kAggregate: return "agg";
     case EnergyUse::kControl: return "ctl";
     case EnergyUse::kIdle: return "idle";
+    case EnergyUse::kFault: return "fault";
     case EnergyUse::kCount_: break;
   }
   return "?";
@@ -65,12 +66,13 @@ double EnergyLedger::fraction(EnergyUse use) const noexcept {
 }
 
 std::string EnergyLedger::summary() const {
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof buf,
-                "tx=%.6g rx=%.6g agg=%.6g ctl=%.6g idle=%.6g total=%.6g J",
+                "tx=%.6g rx=%.6g agg=%.6g ctl=%.6g idle=%.6g fault=%.6g "
+                "total=%.6g J",
                 by_use(EnergyUse::kTransmit), by_use(EnergyUse::kReceive),
                 by_use(EnergyUse::kAggregate), by_use(EnergyUse::kControl),
-                by_use(EnergyUse::kIdle), total());
+                by_use(EnergyUse::kIdle), by_use(EnergyUse::kFault), total());
   return buf;
 }
 

@@ -16,6 +16,7 @@ enum class EnergyUse : int {
   kAggregate,
   kControl,  // HELLO broadcasts / cluster management overhead
   kIdle,     // idle-listening drain while awake with nothing to do
+  kFault,    // battery-capacity fade injected by the fault layer (sim/fault)
   kCount_,
 };
 

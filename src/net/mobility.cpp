@@ -14,7 +14,7 @@ void MobilityModel::step(Network& net, double death_line, Rng& rng) {
   if (cfg_.kind == MobilityKind::kNone) return;
   const Aabb& box = net.domain();
   for (SensorNode& n : net.nodes()) {
-    if (!n.battery.alive(death_line)) continue;
+    if (!n.operational(death_line)) continue;
     const auto i = static_cast<std::size_t>(n.id);
     switch (cfg_.kind) {
       case MobilityKind::kNone:

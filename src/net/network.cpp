@@ -34,14 +34,14 @@ std::vector<int> Network::alive_ids(double death_line) const {
   std::vector<int> out;
   out.reserve(nodes_.size());
   for (const SensorNode& n : nodes_)
-    if (n.battery.alive(death_line)) out.push_back(n.id);
+    if (n.operational(death_line)) out.push_back(n.id);
   return out;
 }
 
 std::size_t Network::alive_count(double death_line) const {
   std::size_t c = 0;
   for (const SensorNode& n : nodes_)
-    if (n.battery.alive(death_line)) ++c;
+    if (n.operational(death_line)) ++c;
   return c;
 }
 
@@ -77,7 +77,7 @@ double Network::mean_residual_alive(double death_line) const {
   double t = 0.0;
   std::size_t c = 0;
   for (const SensorNode& n : nodes_) {
-    if (!n.battery.alive(death_line)) continue;
+    if (!n.operational(death_line)) continue;
     t += n.battery.residual();
     ++c;
   }

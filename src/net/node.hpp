@@ -15,8 +15,22 @@ struct SensorNode {
   Vec3 pos;
   Battery battery;
   bool is_head = false;
+  /// Fault-layer liveness (sim/fault): false while the node is crashed or
+  /// stunned by an injected fault. Orthogonal to battery state — a faulted
+  /// node keeps its residual energy but cannot sense, transmit, receive,
+  /// move, harvest, or be elected head. Always true when fault injection is
+  /// disabled, so `operational()` degrades to `battery.alive()` exactly.
+  bool up = true;
   /// Last round this node served as a cluster head (rotating-epoch rule).
   int last_head_round = kNeverHead;
+
+  /// True when the node can participate in the network this instant:
+  /// fault-up AND above the energy death line. Every eligibility check
+  /// (election, routing targets, mobility, harvesting, idle drain) goes
+  /// through this, so injected faults are visible to every protocol.
+  bool operational(double death_line) const noexcept {
+    return up && battery.alive(death_line);
+  }
 
   SensorNode() = default;
   SensorNode(int node_id, const Vec3& position, double initial_energy)

@@ -68,12 +68,15 @@ std::string AuditReport::summary() const {
 
 SimAuditor::SimAuditor(const Network& net, double death_line,
                        bool flat_routing, bool harvest_enabled,
-                       bool throw_on_violation)
+                       bool throw_on_violation, bool faults_enabled)
     : death_line_(death_line),
       flat_(flat_routing),
       harvest_enabled_(harvest_enabled),
       throw_(throw_on_violation),
-      harvested_per_node_(net.size(), 0.0) {}
+      faults_enabled_(faults_enabled),
+      harvested_per_node_(net.size(), 0.0),
+      crashed_(net.size(), 0),
+      down_at_round_start_(net.size(), 0) {}
 
 void SimAuditor::violate(AuditKind kind, int round, int node,
                          std::string message) {
@@ -89,9 +92,11 @@ void SimAuditor::begin_round(const Network& net, int round,
   ledger_at_round_start_ = ledger.total();
   harvested_this_round_ = 0.0;
   node_residual_at_round_start_.resize(net.size());
-  for (const SensorNode& n : net.nodes())
+  for (const SensorNode& n : net.nodes()) {
     node_residual_at_round_start_[static_cast<std::size_t>(n.id)] =
         n.battery.residual();
+    down_at_round_start_[static_cast<std::size_t>(n.id)] = n.up ? 0 : 1;
+  }
 }
 
 void SimAuditor::on_heads_elected(const Network& net,
@@ -119,6 +124,11 @@ void SimAuditor::on_heads_elected(const Network& net,
       violate(AuditKind::kStructural, round, h,
               "elected head was already below the death line at round "
               "start");
+    // Fault invariant (d): a crashed or stunned node must never win an
+    // election — every election path consults SensorNode::operational().
+    if (!net.node(h).up)
+      violate(AuditKind::kStructural, round, h,
+              "elected head is fault-down");
   }
 }
 
@@ -127,6 +137,37 @@ void SimAuditor::on_harvest(int node, double joules) noexcept {
   if (node >= 0 &&
       static_cast<std::size_t>(node) < harvested_per_node_.size())
     harvested_per_node_[static_cast<std::size_t>(node)] += joules;
+}
+
+void SimAuditor::on_fault_crash(int node) {
+  if (node >= 0 && static_cast<std::size_t>(node) < crashed_.size())
+    crashed_[static_cast<std::size_t>(node)] = 1;
+}
+
+void SimAuditor::check_fault_invariants(const Network& net, int round) {
+  if (!faults_enabled_) return;
+  for (const SensorNode& n : net.nodes()) {
+    const auto i = static_cast<std::size_t>(n.id);
+    // (d1) crashed nodes stay dead for the rest of the run.
+    if (crashed_[i] != 0 && n.up)
+      violate(AuditKind::kStructural, round, n.id,
+              "crashed node came back up");
+    // (d2) a node that was fault-down when the round started cannot wake
+    // mid-round (transitions happen at round boundaries only) and its
+    // battery is untouched: no radio, idle, harvest, or fade activity.
+    // Exact comparison on purpose — nothing may have written the residual.
+    if (down_at_round_start_[i] != 0) {
+      if (n.up)
+        violate(AuditKind::kStructural, round, n.id,
+                "fault-down node woke mid-round");
+      if (n.battery.residual() != node_residual_at_round_start_[i])
+        violate(AuditKind::kEnergyConservation, round, n.id,
+                fmt("fault-down node's residual moved from %.12g J to "
+                    "%.12g J within a round",
+                    node_residual_at_round_start_[i],
+                    n.battery.residual()));
+    }
+  }
 }
 
 void SimAuditor::on_relay_accept(const Network& net, int target,
@@ -209,10 +250,14 @@ void SimAuditor::end_round(const Network& net, const EnergyLedger& ledger,
   check_energy_bounds(net, round_);
   check_per_node_ledger(net, ledger, round_);
   check_packet_conservation(partial, in_flight, round_);
+  check_fault_invariants(net, round_);
 
   // (c) lifespan monotonicity: without harvesting a dead node stays dead.
+  // Fault injection relaxes this too — an expiring stun window raises the
+  // operational count legitimately.
   const std::size_t alive_now = net.alive_count(death_line_);
-  if (!harvest_enabled_ && have_prev_alive_ && alive_now > prev_alive_)
+  if (!harvest_enabled_ && !faults_enabled_ && have_prev_alive_ &&
+      alive_now > prev_alive_)
     violate(AuditKind::kStructural, round_, -1,
             "alive count rose from " + std::to_string(prev_alive_) +
                 " to " + std::to_string(alive_now) +
@@ -229,6 +274,7 @@ void SimAuditor::finalize(const Network& net, const EnergyLedger& ledger,
   check_packet_conservation(result, 0, -1);
   check_energy_bounds(net, -1);
   check_per_node_ledger(net, ledger, -1);
+  check_fault_invariants(net, -1);
   report_.finalized = true;
 }
 

@@ -14,7 +14,11 @@
 //   (c) structural invariants — elected heads are alive, head counts never
 //       exceed the alive population, packets are only cached at an alive
 //       head (or alive relay in flat-routing mode), and the alive count is
-//       non-increasing when no energy harvesting is configured.
+//       non-increasing when no energy harvesting is configured;
+//   (d) fault invariants (fault-injected runs) — crashed nodes stay down
+//       for the rest of the run, a node that was fault-down at the round
+//       start spends and gains no energy that round (stunned radios are
+//       silent), and fault-down nodes are never elected head.
 //
 // Violations carry round/node context and either accumulate into an
 // AuditReport on the SimResult or throw an AuditError, per configuration.
@@ -79,8 +83,12 @@ class SimAuditor {
   /// `flat_routing`: packets relay node-to-node (no head structure to
   /// check). `harvest_enabled`: residual/alive counts may legitimately
   /// rise. `throw_on_violation`: raise AuditError instead of accumulating.
+  /// `faults_enabled`: fault injection is active — the alive count may
+  /// legitimately rise when a stun window expires, and the fault
+  /// invariants (d) are checked every round.
   SimAuditor(const Network& net, double death_line, bool flat_routing,
-             bool harvest_enabled, bool throw_on_violation);
+             bool harvest_enabled, bool throw_on_violation,
+             bool faults_enabled = false);
 
   /// Called at the top of every round, before mobility and head election,
   /// to snapshot the energy books for this round's conservation window.
@@ -95,6 +103,10 @@ class SimAuditor {
 
   /// Reports the joules actually restored to `node` by harvesting.
   void on_harvest(int node, double joules) noexcept;
+
+  /// The fault injector permanently crashed `node`; from now on every
+  /// end_round verifies it is still down ("crashed nodes stay dead").
+  void on_fault_crash(int node);
 
   /// A data packet was accepted into `target`'s cache this round (target is
   /// never the base station — BS deliveries are terminal).
@@ -119,6 +131,7 @@ class SimAuditor {
 
  private:
   void violate(AuditKind kind, int round, int node, std::string message);
+  void check_fault_invariants(const Network& net, int round);
   void check_energy_bounds(const Network& net, int round);
   void check_per_node_ledger(const Network& net, const EnergyLedger& ledger,
                              int round);
@@ -129,6 +142,7 @@ class SimAuditor {
   bool flat_ = false;
   bool harvest_enabled_ = false;
   bool throw_ = false;
+  bool faults_enabled_ = false;
 
   int round_ = -1;
   double residual_at_round_start_ = 0.0;
@@ -138,6 +152,8 @@ class SimAuditor {
   std::vector<double> harvested_per_node_;  ///< cumulative, indexed by id
   std::size_t prev_alive_ = 0;
   bool have_prev_alive_ = false;
+  std::vector<std::uint8_t> crashed_;             ///< per-node crash flag
+  std::vector<std::uint8_t> down_at_round_start_; ///< fault-down snapshot
 
   AuditReport report_;
 };

@@ -49,20 +49,4 @@ AggregatedMetrics run_experiment(const std::string& protocol_name,
   return agg;
 }
 
-std::vector<SimResult> run_replications(const std::string& protocol_name,
-                                        const ExperimentConfig& cfg,
-                                        ThreadPool* pool) {
-  return run_replications(
-      protocol_name, cfg,
-      pool != nullptr ? ExecPolicy::borrow(*pool) : ExecPolicy::serial());
-}
-
-AggregatedMetrics run_experiment(const std::string& protocol_name,
-                                 const ExperimentConfig& cfg,
-                                 ThreadPool* pool) {
-  return run_experiment(
-      protocol_name, cfg,
-      pool != nullptr ? ExecPolicy::borrow(*pool) : ExecPolicy::serial());
-}
-
 }  // namespace qlec

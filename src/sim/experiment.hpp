@@ -78,17 +78,6 @@ AggregatedMetrics run_experiment(const std::string& protocol_name,
                                  const ExperimentConfig& cfg,
                                  const ExecPolicy& exec = ExecPolicy::serial());
 
-/// Deprecated raw-pointer overloads, kept one release for out-of-tree
-/// callers: nullptr means serial, non-null borrows the pool.
-[[deprecated("pass an ExecPolicy instead of a raw ThreadPool*")]]
-std::vector<SimResult> run_replications(const std::string& protocol_name,
-                                        const ExperimentConfig& cfg,
-                                        ThreadPool* pool);
-[[deprecated("pass an ExecPolicy instead of a raw ThreadPool*")]]
-AggregatedMetrics run_experiment(const std::string& protocol_name,
-                                 const ExperimentConfig& cfg,
-                                 ThreadPool* pool);
-
 /// Builds the deployment for one seed (exposed for benches that need the
 /// raw network, e.g. the Fig. 4 heat map).
 Network build_network(const ExperimentConfig& cfg, std::uint64_t seed);

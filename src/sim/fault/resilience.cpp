@@ -1,0 +1,44 @@
+#include "sim/fault/resilience.hpp"
+
+namespace qlec {
+
+double mean_recovery_rounds(const std::vector<RoundResilience>& rows,
+                            double threshold) {
+  // Running mean of healthy-round PDR (rounds with no disruption and no
+  // active outage/degradation) — the baseline recovery is measured against.
+  double healthy_sum = 0.0;
+  std::size_t healthy_n = 0;
+
+  double total_recovery = 0.0;
+  std::size_t disruptions = 0;
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RoundResilience& r = rows[i];
+    if (r.disruptions > 0) {
+      ++disruptions;
+      // Baseline before this disruption; a disruption before any healthy
+      // round measures against full delivery.
+      const double baseline =
+          healthy_n > 0 ? healthy_sum / static_cast<double>(healthy_n) : 1.0;
+      const double bar = threshold * baseline;
+      // Rounds until delivery is back at the bar, starting the round after
+      // the hit. Recovery within the same round counts as 0.
+      std::size_t j = i;
+      while (j < rows.size() && rows[j].pdr() < bar) ++j;
+      if (j < rows.size()) {
+        total_recovery += static_cast<double>(j - i);
+      } else {
+        // Never recovered: the remaining horizon is a lower bound.
+        total_recovery += static_cast<double>(rows.size() - i);
+      }
+    }
+    if (r.disruptions == 0 && r.bs_down == 0 && r.degraded == 0) {
+      healthy_sum += r.pdr();
+      ++healthy_n;
+    }
+  }
+  if (disruptions == 0) return -1.0;
+  return total_recovery / static_cast<double>(disruptions);
+}
+
+}  // namespace qlec

@@ -70,6 +70,11 @@ void AggregatedMetrics::add(const SimResult& r) {
   heads_per_round.add(r.heads_per_round.mean());
   delivered.add(static_cast<double>(r.delivered));
   generated.add(static_cast<double>(r.generated));
+  lost_link.add(static_cast<double>(r.lost_link));
+  lost_queue.add(static_cast<double>(r.lost_queue));
+  lost_dead.add(static_cast<double>(r.lost_dead));
+  if (r.resilience.recovery_rounds >= 0.0)
+    recovery_rounds.add(r.resilience.recovery_rounds);
 }
 
 }  // namespace qlec

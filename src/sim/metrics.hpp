@@ -7,6 +7,7 @@
 
 #include "energy/ledger.hpp"
 #include "sim/audit.hpp"
+#include "sim/fault/resilience.hpp"
 #include "util/stats.hpp"
 
 namespace qlec {
@@ -65,6 +66,11 @@ struct SimResult {
   /// Invariant-check outcome when SimConfig::audit is set (rounds_audited
   /// == 0 otherwise). See sim/audit.hpp for what is verified.
   AuditReport audit;
+
+  /// Fault counts, per-class loss attribution, per-round delivery rows, and
+  /// recovery time when SimConfig::fault is enabled (inert otherwise). See
+  /// sim/fault/resilience.hpp.
+  ResilienceStats resilience;
 };
 
 /// Canonical 64-bit FNV-1a digest of a RoundStats trace. Hashes every field
@@ -93,6 +99,13 @@ struct AggregatedMetrics {
   RunningStats heads_per_round;
   RunningStats delivered;
   RunningStats generated;
+  // Loss breakdown (same classification as the SimResult counters).
+  RunningStats lost_link;
+  RunningStats lost_queue;
+  RunningStats lost_dead;
+  /// Recovery time across faulted runs that saw a disruption (runs with
+  /// recovery_rounds < 0 contribute nothing).
+  RunningStats recovery_rounds;
 
   void add(const SimResult& r);
 };

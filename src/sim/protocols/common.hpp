@@ -24,7 +24,7 @@ inline std::vector<int> assign_nearest_head_brute(
   for (const SensorNode& n : net.nodes()) {
     double best = std::numeric_limits<double>::infinity();
     for (const int h : heads) {
-      if (!net.node(h).battery.alive(death_line)) continue;
+      if (!net.node(h).operational(death_line)) continue;
       const double d = net.dist(n.id, h);
       if (d < best) {
         best = d;
@@ -52,7 +52,7 @@ inline std::vector<int> assign_nearest_head(const Network& net,
   std::vector<int> alive;
   alive.reserve(heads.size());
   for (const int h : heads)
-    if (net.node(h).battery.alive(death_line)) alive.push_back(h);
+    if (net.node(h).operational(death_line)) alive.push_back(h);
 
   constexpr std::size_t kBruteThreshold = 16;
   if (alive.size() < kBruteThreshold)
@@ -110,7 +110,7 @@ inline void charge_hello(Network& net, const std::vector<int>& heads,
   for (const SensorNode& n : net.nodes()) {
     const int a = assignment[static_cast<std::size_t>(n.id)];
     if (a == kBaseStationId || n.is_head) continue;
-    if (!n.battery.alive(death_line)) continue;
+    if (!n.operational(death_line)) continue;
     ledger.charge(EnergyUse::kControl,
                   net.node(n.id).battery.consume(
                       radio.rx_energy(hello_bits)),

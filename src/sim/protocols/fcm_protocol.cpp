@@ -78,7 +78,7 @@ int FcmProtocol::route(const Network& net, int src, double bits, Rng& rng) {
   (void)bits;
   (void)rng;
   const int a = assignment_.at(static_cast<std::size_t>(src));
-  if (a != kBaseStationId && net.node(a).battery.alive(death_line_))
+  if (a != kBaseStationId && net.node(a).operational(death_line_))
     return a;
   const std::vector<int> fresh =
       detail::assign_nearest_head(net, net.head_ids(), death_line_);
@@ -88,7 +88,7 @@ int FcmProtocol::route(const Network& net, int src, double bits, Rng& rng) {
 int FcmProtocol::uplink_target(const Network& net, int head, Rng& rng) {
   (void)rng;
   const int next = fcm_next_hop(net, hierarchy_, head);
-  if (next == kBaseStationId || net.node(next).battery.alive(death_line_))
+  if (next == kBaseStationId || net.node(next).operational(death_line_))
     return next;
   return kBaseStationId;  // inner relay died: bail out directly
 }

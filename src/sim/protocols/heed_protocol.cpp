@@ -23,7 +23,7 @@ int HeedProtocol::route(const Network& net, int src, double bits, Rng& rng) {
   (void)bits;
   (void)rng;
   const int a = assignment_.at(static_cast<std::size_t>(src));
-  if (a != kBaseStationId && net.node(a).battery.alive(death_line_))
+  if (a != kBaseStationId && net.node(a).operational(death_line_))
     return a;
   const std::vector<int> fresh =
       detail::assign_nearest_head(net, net.head_ids(), death_line_);

@@ -53,7 +53,7 @@ int KmeansProtocol::route(const Network& net, int src, double bits,
   (void)bits;
   (void)rng;
   const int a = assignment_.at(static_cast<std::size_t>(src));
-  if (a != kBaseStationId && net.node(a).battery.alive(death_line_))
+  if (a != kBaseStationId && net.node(a).operational(death_line_))
     return a;
   // Assigned head died mid-round: fall back to the nearest live head.
   const std::vector<int> heads = net.head_ids();

@@ -20,7 +20,7 @@ void QelarProtocol::on_round_start(Network& net, int round, Rng& rng,
   router_ = std::make_unique<QelarRouter>(*graph_, net, cfg_.qelar);
   for (int s = 0; s < cfg_.sweeps_per_round; ++s) {
     for (std::size_t i = 0; i < net.size(); ++i) {
-      if (!net.node(static_cast<int>(i)).battery.alive(0.0)) continue;
+      if (!net.node(static_cast<int>(i)).operational(0.0)) continue;
       router_->train_episode(static_cast<int>(i), 2 * net.size() + 16,
                              rng);
     }

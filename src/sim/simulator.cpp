@@ -59,11 +59,19 @@ class SimRun {
     rs_.alive.resize(n);
     rs_.is_head.resize(n);
     rs_.queue_slot.assign(n, -1);
+    if (cfg.fault.enabled) {
+      // The fault stream folds one simulation-Rng draw into its seed so it
+      // varies per seed yet replays exactly; with faults disabled the draw
+      // never happens and the main stream is untouched.
+      fault_.emplace(cfg.fault, n, cfg.death_line,
+                     rng.next_u64() ^ cfg.fault.seed);
+      result_.resilience.enabled = true;
+    }
     if (cfg.audit.enabled) {
       result_.energy.enable_per_node(n);
       auditor_.emplace(net, cfg.death_line, flat_,
                        cfg.harvest_per_round > 0.0,
-                       cfg.audit.throw_on_violation);
+                       cfg.audit.throw_on_violation, cfg.fault.enabled);
     }
   }
 
@@ -89,10 +97,13 @@ class SimRun {
   }
 
   /// Re-reads one node's battery into the SoA mirror (after any mutation).
+  /// Liveness folds in the fault-layer up flag: a crashed or stunned node
+  /// is not alive no matter its residual.
   void sync_battery(int id, const Battery& b) {
     const auto i = static_cast<std::size_t>(id);
     rs_.residual[i] = b.residual();
-    rs_.alive[i] = b.alive(cfg_.death_line) ? 1 : 0;
+    rs_.alive[i] =
+        (b.alive(cfg_.death_line) && net_.node(id).up) ? 1 : 0;
   }
 
   /// Refreshes the whole round state from the network: positions (mobility
@@ -104,7 +115,7 @@ class SimRun {
       const SensorNode& n = nodes[i];
       rs_.pos[i] = n.pos;
       rs_.residual[i] = n.battery.residual();
-      rs_.alive[i] = n.battery.alive(cfg_.death_line) ? 1 : 0;
+      rs_.alive[i] = n.operational(cfg_.death_line) ? 1 : 0;
       rs_.is_head[i] = n.is_head ? 1 : 0;
     }
     net_.head_ids_into(rs_.heads);
@@ -128,6 +139,26 @@ class SimRun {
     result_.latency.add(static_cast<double>(p.latency()));
   }
 
+  /// Channel attempt to a node target, scaled by any active link-quality
+  /// degradation episode. Outside an episode the exact pre-fault code path
+  /// runs, so the Bernoulli compare — and the trace — is bit-identical.
+  bool link_attempt(double d) {
+    if (!fault_ || fault_->link_factor() >= 1.0)
+      return cfg_.link.attempt(d, rng_);
+    return rng_.bernoulli(cfg_.link.success_probability(d) *
+                          fault_->link_factor());
+  }
+  bool link_attempt_bs(double d) {
+    if (!fault_ || fault_->link_factor() >= 1.0)
+      return cfg_.link.attempt_bs(d, rng_);
+    return rng_.bernoulli(cfg_.link.bs_success_probability(d) *
+                          fault_->link_factor());
+  }
+  /// False while a fault-injected BS outage window is active.
+  bool bs_up() const { return !fault_ || fault_->bs_up(); }
+  /// True when `id` is down specifically because of an injected fault.
+  bool fault_down(int id) const { return fault_ && fault_->down(id); }
+
   Network& net_;
   ClusteringProtocol& protocol_;
   const SimConfig& cfg_;
@@ -139,6 +170,13 @@ class SimRun {
   const Vec3 bs_;
 
   std::optional<SimAuditor> auditor_;  // engaged when cfg.audit.enabled
+
+  std::optional<FaultInjector> fault_;  // engaged when cfg.fault.enabled
+  std::vector<FaultInjector::Fade> fade_ops_;  // per-round fade scratch
+  std::vector<int> crashed_scratch_;           // per-round new-crash scratch
+  std::uint64_t gen_at_round_start_ = 0;  // per-round resilience deltas
+  std::uint64_t del_at_round_start_ = 0;
+  bool saw_heads_ = false;  // protocol has elected >= 1 head at least once
 
   RoundState rs_;
   // Reusable pools indexed by rs_.queue_slot (grow-only; cleared per round
@@ -162,6 +200,7 @@ class SimRun {
 void SimRun::deliver_from(int src, Packet p) {
   if (!alive(src)) {
     ++result_.lost_dead;
+    if (fault_down(src)) ++result_.resilience.lost_at_down_node;
     return;
   }
   if (flat_ && p.hops >= kFlatHopCap) {
@@ -178,6 +217,8 @@ void SimRun::deliver_from(int src, Packet p) {
   }
 
   bool last_failure_was_overflow = false;
+  bool last_fail_bs_outage = false;
+  bool last_fail_down_target = false;
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     // Re-consult the protocol on every retry: the failed b_i -> b_i
     // transition leaves the agent free to pick a different action.
@@ -185,11 +226,17 @@ void SimRun::deliver_from(int src, Packet p) {
     const double d = dist(src, target);
     charge(src, EnergyUse::kTransmit, radio_.tx_energy(p.bits, d));
     ++p.hops;
-    const bool target_up = target == kBaseStationId || alive(target);
+    // A BS in an outage window behaves like a down relay: the sender pays
+    // for the attempt and gets no ACK (no channel draw — the receiver is
+    // simply not listening).
+    const bool target_up =
+        target == kBaseStationId ? bs_up() : alive(target);
     const bool link_ok =
-        target_up && (target == kBaseStationId
-                          ? cfg_.link.attempt_bs(d, rng_)
-                          : cfg_.link.attempt(d, rng_));
+        target_up && (target == kBaseStationId ? link_attempt_bs(d)
+                                               : link_attempt(d));
+    last_fail_bs_outage = target == kBaseStationId && !target_up;
+    last_fail_down_target =
+        target != kBaseStationId && !target_up && fault_down(target);
     // The ACK only comes back if the radio delivered AND the head had
     // cache room ("limited storage caches of cluster heads may lead to
     // packet loss") — so queue overflow also trains the link estimator.
@@ -214,6 +261,18 @@ void SimRun::deliver_from(int src, Packet p) {
     ++result_.lost_queue;  // congestion loss at a head cache
   } else {
     ++result_.lost_link;
+    if (fault_) {
+      // Attribute the loss to its fault class by what the final attempt
+      // hit (refines lost_link; see ResilienceStats).
+      ResilienceStats& res = result_.resilience;
+      if (last_fail_bs_outage) {
+        ++res.lost_to_bs_outage;
+      } else if (last_fail_down_target) {
+        ++res.lost_to_down_target;
+      } else if (fault_->link_factor() < 1.0) {
+        ++res.lost_during_degradation;
+      }
+    }
   }
 }
 
@@ -227,6 +286,8 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
   while (relay_hops <= kMaxRelayHops) {
     if (!alive(holder)) {
       result_.lost_dead += buf.packets.size();
+      if (fault_down(holder))
+        result_.resilience.lost_at_down_node += buf.packets.size();
       return;
     }
     const int target = protocol_.uplink_target(net_, holder, rng_);
@@ -235,10 +296,10 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
       const double d = dist(holder, target);
       charge(holder, EnergyUse::kTransmit, radio_.tx_energy(buf.bits, d));
-      target_up = target == kBaseStationId || alive(target);
+      target_up = target == kBaseStationId ? bs_up() : alive(target);
       success = target_up && (target == kBaseStationId
-                                  ? cfg_.link.attempt_bs(d, rng_)
-                                  : cfg_.link.attempt(d, rng_));
+                                  ? link_attempt_bs(d)
+                                  : link_attempt(d));
       if (target == kBaseStationId) {
         protocol_.on_uplink_result(net_, holder, success);
       } else {
@@ -248,6 +309,17 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
     }
     if (!success) {
       result_.lost_link += buf.packets.size();
+      if (fault_) {
+        ResilienceStats& res = result_.resilience;
+        if (target == kBaseStationId && !target_up) {
+          res.lost_to_bs_outage += buf.packets.size();
+        } else if (target != kBaseStationId && !target_up &&
+                   fault_->down(target)) {
+          res.lost_to_down_target += buf.packets.size();
+        } else if (fault_->link_factor() < 1.0) {
+          res.lost_during_degradation += buf.packets.size();
+        }
+      }
       return;
     }
     if (target == kBaseStationId) {
@@ -276,6 +348,20 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
 SimResult SimRun::run() {
   const std::size_t n = net_.size();
   for (int round = 0; round < cfg_.rounds; ++round) {
+    // Faults fire strictly at the round boundary, before the auditor
+    // snapshots state and before election — so every downstream phase (and
+    // the auditor's down-at-round-start view) sees a consistent topology.
+    if (fault_) {
+      fault_->begin_round(net_, round, fade_ops_, crashed_scratch_);
+      for (const FaultInjector::Fade& f : fade_ops_) {
+        charge(f.node, EnergyUse::kFault, f.joules);
+        result_.resilience.energy_faded_j += f.joules;
+      }
+      if (auditor_)
+        for (const int id : crashed_scratch_) auditor_->on_fault_crash(id);
+      gen_at_round_start_ = result_.generated;
+      del_at_round_start_ = result_.delivered;
+    }
     if (auditor_) auditor_->begin_round(net_, round, result_.energy);
     mobility_.step(net_, cfg_.death_line, rng_);
     protocol_.on_round_start(net_, round, rng_, result_.energy);
@@ -288,6 +374,19 @@ SimResult SimRun::run() {
     const std::vector<int>& heads = rs_.heads;
     result_.heads_per_round.add(static_cast<double>(heads.size()));
     if (auditor_) auditor_->on_heads_elected(net_, heads);
+    if (fault_ && !flat_) {
+      // A fault wave that leaves no electable head strands every surviving
+      // member for the round — the "orphaned members" resilience signal.
+      // Gated on the protocol having clustered before, so head-less designs
+      // (direct uplink) don't read as permanently orphaned.
+      if (!heads.empty()) saw_heads_ = true;
+      if (heads.empty() && saw_heads_) {
+        std::uint64_t orphans = 0;
+        for (std::size_t i = 0; i < n; ++i)
+          if (rs_.alive[i] != 0) ++orphans;
+        result_.resilience.orphaned_member_rounds += orphans;
+      }
+    }
 
     if (flat_) {
       // Flat routing: every node owns a persistent relay buffer (created
@@ -374,10 +473,11 @@ SimResult SimRun::run() {
           }
         }
       }
-      // (e) idle listening drain.
+      // (e) idle listening drain. Fault-down radios are off: they neither
+      // listen nor pay for it (audit invariant d2).
       if (cfg_.idle_listen_j_per_slot > 0.0) {
         for (SensorNode& node : net_.nodes()) {
-          if (!node.battery.alive(cfg_.death_line)) continue;
+          if (!node.operational(cfg_.death_line)) continue;
           result_.energy.charge(
               EnergyUse::kIdle,
               node.battery.consume(cfg_.idle_listen_j_per_slot), node.id);
@@ -402,14 +502,17 @@ SimResult SimRun::run() {
             carryover_.push_back(Stranded{h, *p});
           } else {
             ++result_.lost_dead;
+            if (fault_down(h)) ++result_.resilience.lost_at_down_node;
           }
         }
       }
     }
 
+    // Fault-down nodes can't run their harvester either — their batteries
+    // stay exactly frozen for the whole down window (audit invariant d2).
     if (cfg_.harvest_per_round > 0.0) {
       for (SensorNode& node : net_.nodes()) {
-        if (!node.battery.alive(cfg_.death_line)) continue;
+        if (!node.operational(cfg_.death_line)) continue;
         const double restored = node.battery.recharge(cfg_.harvest_per_round);
         sync_battery(node.id, node.battery);
         if (auditor_) auditor_->on_harvest(node.id, restored);
@@ -428,6 +531,16 @@ SimResult SimRun::run() {
 
     // (f) lifespan bookkeeping.
     const std::size_t alive_now = net_.alive_count(cfg_.death_line);
+    if (fault_) {
+      std::uint64_t down = 0;
+      for (const SensorNode& node : net_.nodes())
+        if (!node.up) ++down;
+      result_.resilience.per_round.push_back(RoundResilience{
+          round, result_.generated - gen_at_round_start_,
+          result_.delivered - del_at_round_start_,
+          fault_->disruptions_this_round(), !fault_->bs_up(),
+          fault_->link_factor() < 1.0, down});
+    }
     if (cfg_.trace.record) {
       result_.trace.push_back(RoundStats{
           round, alive_now, heads.size(), net_.total_residual_energy(),
@@ -447,7 +560,22 @@ SimResult SimRun::run() {
   // Packets still stranded when the run ends never reached the BS.
   result_.lost_dead += carryover_.size();
   if (flat_) {
-    for (const PacketQueue& q : queues_) result_.lost_dead += q.size();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      result_.lost_dead += queues_[i].size();
+      if (fault_down(static_cast<int>(i)))
+        result_.resilience.lost_at_down_node += queues_[i].size();
+    }
+  }
+
+  if (fault_) {
+    ResilienceStats& res = result_.resilience;
+    res.crashes = fault_->crashes();
+    res.stuns = fault_->stuns();
+    res.blackouts = fault_->blackouts();
+    res.fades = fault_->fades();
+    res.bs_outage_rounds = fault_->bs_outage_rounds();
+    res.degraded_rounds = fault_->degraded_rounds();
+    res.recovery_rounds = mean_recovery_rounds(res.per_round);
   }
 
   result_.per_node_consumed.reserve(n);

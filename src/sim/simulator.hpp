@@ -11,6 +11,7 @@
 #include "net/link.hpp"
 #include "net/mobility.hpp"
 #include "net/network.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
 #include "util/rng.hpp"
@@ -75,6 +76,9 @@ struct SimConfig {
   double idle_listen_j_per_slot = 0.0;
   AuditOptions audit;
   TraceOptions trace;
+  /// Fault injection (sim/fault). Disabled by default; a disabled config
+  /// leaves the simulation — and every golden-trace digest — bit-identical.
+  FaultConfig fault;
 };
 
 /// Runs the full simulation, mutating `net` (battery drain, head flags).

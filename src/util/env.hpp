@@ -9,6 +9,8 @@
 //   QLEC_PERF_REPEATS=<n>    timed repetitions per perf-bench case
 //   QLEC_PERF_BASELINE=<p>   baseline BENCH_scaling.json to embed for
 //                            speedup reporting
+//   QLEC_FAULT_INTENSITY=<x> extra multiplier (> 0, default 1) on every
+//                            hazard rate in the resilience sweep
 #pragma once
 
 #include <cstdlib>
@@ -63,5 +65,15 @@ inline std::size_t perf_repeats(std::size_t def) {
 
 /// QLEC_PERF_BASELINE: path to a baseline BENCH_scaling.json to embed.
 inline std::string perf_baseline() { return str("QLEC_PERF_BASELINE"); }
+
+/// QLEC_FAULT_INTENSITY: multiplier applied to every hazard rate in the
+/// resilience sweep (default 1; unset/unparsable/non-positive -> fallback).
+inline double fault_intensity(double fallback = 1.0) {
+  const char* v = std::getenv("QLEC_FAULT_INTENSITY");
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const double x = std::strtod(v, &end);
+  return (end != v && x > 0.0) ? x : fallback;
+}
 
 }  // namespace qlec::env

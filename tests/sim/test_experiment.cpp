@@ -116,23 +116,5 @@ TEST(ExecPolicyApi, BorrowedPoolMatchesSerial) {
   }
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ExecPolicyApi, DeprecatedPointerOverloadStillWorks) {
-  // Out-of-tree callers migrating from the ThreadPool* signature: nullptr
-  // runs serial, a pool pointer borrows it. Same results either way.
-  ThreadPool tp(2);
-  const auto via_null = run_replications("kmeans", fast_experiment(),
-                                         static_cast<ThreadPool*>(nullptr));
-  const auto via_pool = run_replications("kmeans", fast_experiment(), &tp);
-  const AggregatedMetrics agg =
-      run_experiment("kmeans", fast_experiment(), &tp);
-  ASSERT_EQ(via_null.size(), via_pool.size());
-  for (std::size_t i = 0; i < via_null.size(); ++i)
-    EXPECT_EQ(via_null[i].generated, via_pool[i].generated);
-  EXPECT_EQ(agg.pdr.count(), 3u);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace qlec

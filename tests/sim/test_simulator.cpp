@@ -217,5 +217,126 @@ TEST(Simulator, HigherServiceRateImprovesPdrUnderLoad) {
   EXPECT_GT(run_with_service(6).pdr(), run_with_service(1).pdr());
 }
 
+// Routes every member packet at one fixed target and mirrors the learning
+// protocols' ACK bookkeeping (LinkEstimator trained on every attempt), so
+// the dead-target retry path of deliver_from can be pinned down exactly.
+class FixedTargetProtocol final : public ClusteringProtocol {
+ public:
+  /// `mark_head`: also flag the target as a cluster head each round (gives
+  /// it a cache slot; leave false to aim at a plain dead node).
+  FixedTargetProtocol(int target, bool mark_head)
+      : target_(target), mark_head_(mark_head) {}
+  std::string name() const override { return "fixed-target"; }
+  void on_round_start(Network& net, int round, Rng& rng,
+                      EnergyLedger& ledger) override {
+    (void)round;
+    (void)rng;
+    (void)ledger;
+    net.reset_heads();
+    if (mark_head_) net.node(target_).is_head = true;
+  }
+  int route(const Network& net, int src, double bits, Rng& rng) override {
+    (void)net;
+    (void)src;
+    (void)bits;
+    (void)rng;
+    return target_;
+  }
+  void on_tx_result(const Network& net, int src, int target,
+                    bool success) override {
+    (void)net;
+    estimator.record(src, target, success);
+    if (success) {
+      ++acks;
+    } else {
+      ++nacks;
+    }
+  }
+
+  LinkEstimator estimator;
+  std::uint64_t acks = 0;
+  std::uint64_t nacks = 0;
+
+ private:
+  int target_;
+  bool mark_head_;
+};
+
+TEST(Simulator, DeadTargetRetriesChargeSenderAndClassifyAsLinkLoss) {
+  Rng rng(29);
+  Network net = small_network(rng, 8);
+  // Node 0 is battery-dead before the run starts; everyone aims at it.
+  net.node(0).battery.consume(net.node(0).battery.residual());
+  ASSERT_FALSE(net.node(0).battery.alive(0.0));
+  FixedTargetProtocol proto(0, /*mark_head=*/false);
+  SimConfig cfg = fast_config();
+  cfg.max_retries = 2;
+  Rng sim_rng(30);
+  const SimResult r = run_simulation(net, proto, cfg, sim_rng);
+
+  ASSERT_GT(r.generated, 0u);
+  // A dead relay is a LINK failure (no ACK), never a queue overflow and
+  // never a loss "at" the live sender.
+  EXPECT_EQ(r.delivered, 0u);
+  EXPECT_EQ(r.lost_link, r.generated);
+  EXPECT_EQ(r.lost_queue, 0u);
+  EXPECT_EQ(r.lost_dead, 0u);
+  // The sender pays tx energy for every attempt even though the target
+  // never listens; the dead target never pays rx energy.
+  EXPECT_GT(r.energy.by_use(EnergyUse::kTransmit), 0.0);
+  EXPECT_DOUBLE_EQ(r.energy.by_use(EnergyUse::kReceive), 0.0);
+  EXPECT_DOUBLE_EQ(net.node(0).battery.residual(), 0.0);
+  // Every attempt (first try + max_retries) came back as a negative ACK.
+  EXPECT_EQ(r.lost_link * static_cast<std::uint64_t>(cfg.max_retries + 1),
+            proto.nacks);
+  EXPECT_EQ(proto.acks, 0u);
+}
+
+TEST(Simulator, DeadTargetNacksTrainTheLinkEstimatorDown) {
+  Rng rng(31);
+  Network net = small_network(rng, 8);
+  net.node(0).battery.consume(net.node(0).battery.residual());
+  FixedTargetProtocol proto(0, /*mark_head=*/false);
+  SimConfig cfg = fast_config();
+  Rng sim_rng(32);
+  const SimResult r = run_simulation(net, proto, cfg, sim_rng);
+  ASSERT_GT(r.generated, 0u);
+  // Every observed link into the dead node has collapsed well below the
+  // optimistic prior the estimator starts from.
+  const double prior = LinkEstimator().estimate(1, 0);
+  bool observed_any = false;
+  for (int src = 1; src < static_cast<int>(net.size()); ++src) {
+    if (proto.estimator.observations(src, 0) == 0) continue;
+    observed_any = true;
+    EXPECT_LT(proto.estimator.estimate(src, 0), prior);
+  }
+  EXPECT_TRUE(observed_any);
+}
+
+TEST(Simulator, OverflowAtLiveHeadClassifiesAsQueueLoss) {
+  Rng rng(33);
+  Network net = small_network(rng, 8);
+  FixedTargetProtocol proto(0, /*mark_head=*/true);
+  SimConfig cfg = fast_config();
+  cfg.rounds = 2;
+  cfg.mean_interarrival = 1.0;   // heavy traffic into one head
+  cfg.queue_capacity = 1;        // cache full after a single packet
+  cfg.service_per_slot = 0;      // and it never drains
+  cfg.link.d_ref = 1e12;         // perfect channel: p rounds to exactly 1
+  cfg.link.p_floor = 1.0;
+  Rng sim_rng(34);
+  const SimResult r = run_simulation(net, proto, cfg, sim_rng);
+
+  ASSERT_GT(r.generated, 0u);
+  // With a perfect channel the ONLY failure mode is cache overflow, so the
+  // retry loop's terminal classification must be lost_queue, not lost_link.
+  EXPECT_GT(r.lost_queue, 0u);
+  EXPECT_EQ(r.lost_link, 0u);
+  EXPECT_EQ(r.generated,
+            r.delivered + r.lost_link + r.lost_queue + r.lost_dead);
+  // Overflow still trains the estimator negatively (no ACK came back).
+  EXPECT_GT(proto.nacks, 0u);
+}
+
 }  // namespace
 }  // namespace qlec
