@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "geom/spatial_grid.hpp"
+#include "obs/telemetry.hpp"
 
 namespace qlec {
 
@@ -32,6 +33,7 @@ QlecProtocol::QlecProtocol(const Network& net, QlecParams params,
 
 void QlecProtocol::on_round_start(Network& net, int round, Rng& rng,
                                   EnergyLedger& ledger) {
+  cur_round_ = round;
   ImprovedDeecConfig cfg;
   cfg.p_opt = static_cast<double>(k_opt_) /
               static_cast<double>(std::max<std::size_t>(net.size(), 1));
@@ -69,6 +71,33 @@ void QlecProtocol::on_round_start(Network& net, int round, Rng& rng,
   // round regardless of its uplink cost.
   for (const int h : heads_)
     router_.update_head_value(net, h, uplink_bits_hint_);
+
+  if (telemetry_ != nullptr) {
+    const ElectionStats& s = last_stats_;
+    obs::MetricsRegistry& m = telemetry_->metrics();
+    m.counter("qlec.election.elected").inc(s.elected);
+    m.counter("qlec.election.pruned").inc(s.pruned);
+    m.counter("qlec.election.drafted").inc(s.drafted);
+    if (s.used_fallback) m.counter("qlec.election.fallbacks").inc();
+    m.gauge("qlec.k_opt").set(static_cast<double>(k_opt_));
+    m.gauge("qlec.router.q_evals")
+        .set(static_cast<double>(router_.q_evaluations()));
+    m.gauge("qlec.router.max_v_delta").set(router_.max_v_delta_this_round());
+    telemetry_->emit(obs::Event("election_stats", round)
+                         .with("alive", s.alive)
+                         .with("eligible", s.eligible)
+                         .with("elected", s.elected)
+                         .with("pruned", s.pruned)
+                         .with("drafted", s.drafted)
+                         .with("final_heads", s.final_heads)
+                         .with("k_opt", k_opt_)
+                         .with("used_fallback", s.used_fallback));
+    // Algorithm 3 fired: the redundancy pass actually removed heads.
+    if (s.pruned > 0)
+      telemetry_->emit(obs::Event("prune", round)
+                           .with("pruned", s.pruned)
+                           .with("final_heads", s.final_heads));
+  }
 }
 
 int QlecProtocol::route(const Network& net, int src, double bits, Rng& rng) {
@@ -86,6 +115,14 @@ void QlecProtocol::on_uplink_result(const Network& net, int head,
                                     bool success) {
   router_.record_outcome(head, kBaseStationId, success);
   router_.update_head_value(net, head, uplink_bits_hint_);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter("qlec.q_updates").inc();
+    if (telemetry_->per_packet_events())
+      telemetry_->emit(obs::Event("q_update", cur_round_)
+                           .with("head", head)
+                           .with("success", success)
+                           .with("v", router_.v(head)));
+  }
 }
 
 }  // namespace qlec

@@ -51,6 +51,7 @@ class QlecProtocol final : public ClusteringProtocol {
   std::vector<int> heads_;
   ElectionStats last_stats_{};
   double uplink_bits_hint_ = 4000.0;  // refreshed from route() calls
+  int cur_round_ = -1;                // for telemetry emitted off-round
 };
 
 }  // namespace qlec

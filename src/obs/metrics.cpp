@@ -1,0 +1,75 @@
+#include "obs/metrics.hpp"
+
+#include "util/json.hpp"
+
+namespace qlec::obs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauges_[name]; }
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(lo, hi, bins)).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(
+    const std::string& name) const noexcept {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.value() : 0;
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const noexcept {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.value() : 0.0;
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter j;
+  j.begin_object();
+  j.key("counters");
+  j.begin_object();
+  for (const auto& [name, c] : counters_) {
+    j.key(name);
+    j.value(static_cast<unsigned long long>(c.value()));
+  }
+  j.end_object();
+  j.key("gauges");
+  j.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    j.key(name);
+    j.value(g.value());
+  }
+  j.end_object();
+  j.key("histograms");
+  j.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    j.key(name);
+    j.begin_object();
+    j.key("total");
+    j.value(static_cast<unsigned long long>(h.total()));
+    j.key("bins");
+    j.begin_array();
+    for (std::size_t i = 0; i < h.bins(); ++i) {
+      j.begin_object();
+      j.key("lo");
+      j.value(h.bin_lo(i));
+      j.key("hi");
+      j.value(h.bin_hi(i));
+      j.key("count");
+      j.value(static_cast<unsigned long long>(h.bin_count(i)));
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_object();
+  j.end_object();
+  return j.str();
+}
+
+}  // namespace qlec::obs

@@ -1,0 +1,86 @@
+// MetricsRegistry: named counters, gauges, and histograms for telemetry
+// (OBSERVABILITY.md documents the naming conventions). Instruments register
+// lazily by name and hand back stable references, so hot paths pay one map
+// lookup at attach time and a plain increment afterwards. The registry is
+// per-run state (each simulation owns its own through obs::Telemetry), so
+// none of the mutation paths need locks; see util/log.hpp for the one
+// process-global channel and its thread-safety story.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace qlec::obs {
+
+/// Monotonically increasing event count (e.g. "sim.packets.generated").
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (e.g. "qlec.router.max_v_delta").
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Name -> instrument store. Names are lowercase dotted paths
+/// ("<subsystem>.<object>.<measure>", see OBSERVABILITY.md §counters);
+/// re-registering an existing name returns the same instrument. References
+/// returned by counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime (node-based map storage).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Fixed-bin histogram over [lo, hi) (util/stats semantics: out-of-range
+  /// samples clamp into the edge bins). The bounds are fixed by the first
+  /// registration; later calls with the same name ignore theirs.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  /// Value of a registered counter, or 0 when `name` was never registered
+  /// (lookup only — does not create).
+  std::uint64_t counter_value(const std::string& name) const noexcept;
+  /// Value of a registered gauge, or 0.0 when absent.
+  double gauge_value(const std::string& name) const noexcept;
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// One JSON object with "counters" / "gauges" / "histograms" sections,
+  /// each keyed by instrument name in sorted order (the format documented
+  /// in OBSERVABILITY.md §metrics-export).
+  std::string to_json() const;
+
+  const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+ private:
+  // std::map keeps element addresses stable across inserts, which is what
+  // lets instruments hand out long-lived references.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace qlec::obs

@@ -1,0 +1,83 @@
+#include "obs/phase_timer.hpp"
+
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace qlec::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::record(std::string name, std::uint64_t begin_ns,
+                           std::uint64_t end_ns, int depth, int round) {
+  Span s;
+  s.name = std::move(name);
+  s.begin_ns = begin_ns;
+  s.end_ns = end_ns < begin_ns ? begin_ns : end_ns;
+  s.depth = depth;
+  s.round = round;
+  spans_.push_back(std::move(s));
+}
+
+std::uint64_t TraceRecorder::total_ns(const std::string& name) const noexcept {
+  std::uint64_t total = 0;
+  for (const Span& s : spans_)
+    if (s.name == name) total += s.end_ns - s.begin_ns;
+  return total;
+}
+
+std::string TraceRecorder::to_chrome_json(int pid, int tid) const {
+  JsonWriter j;
+  j.begin_object();
+  j.key("traceEvents");
+  j.begin_array();
+  for (const Span& s : spans_) {
+    j.begin_object();
+    j.key("name");
+    j.value(s.name);
+    j.key("cat");
+    j.value("sim");
+    j.key("ph");
+    j.value("X");  // complete event: ts + dur
+    // trace_event timestamps are microseconds; fractional values are legal
+    // and preserve the nanosecond resolution of steady_clock.
+    j.key("ts");
+    j.value(static_cast<double>(s.begin_ns) / 1000.0);
+    j.key("dur");
+    j.value(static_cast<double>(s.end_ns - s.begin_ns) / 1000.0);
+    j.key("pid");
+    j.value(pid);
+    j.key("tid");
+    j.value(tid);
+    j.key("args");
+    j.begin_object();
+    j.key("round");
+    j.value(s.round);
+    j.key("depth");
+    j.value(s.depth);
+    j.end_object();
+    j.end_object();
+  }
+  j.end_array();
+  j.key("displayTimeUnit");
+  j.value("ms");
+  j.end_object();
+  return j.str();
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path, int pid,
+                                      int tid) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json(pid, tid) << "\n";
+  return out.good();
+}
+
+}  // namespace qlec::obs

@@ -1,0 +1,97 @@
+// RAII phase timing exported as Chrome trace_event JSON. A PhaseTimer
+// brackets one simulator phase (election, transmission, uplink, ...); on
+// destruction it records a complete "X" span into a TraceRecorder, whose
+// to_chrome_json() output loads directly in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing. See OBSERVABILITY.md §phase-traces for the workflow.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qlec::obs {
+
+/// Collects completed spans. Timestamps are steady_clock nanoseconds
+/// relative to the recorder's construction, so documents start near t=0 and
+/// merge cleanly when several recorders' spans are concatenated.
+class TraceRecorder {
+ public:
+  struct Span {
+    std::string name;
+    std::uint64_t begin_ns = 0;  ///< offset from recorder epoch
+    std::uint64_t end_ns = 0;
+    int depth = 0;    ///< nesting level at record time (0 = top level)
+    int round = -1;   ///< simulator round, -1 outside any round
+  };
+
+  TraceRecorder();
+
+  /// Nanoseconds since the recorder epoch (monotonic).
+  std::uint64_t now_ns() const;
+
+  void record(std::string name, std::uint64_t begin_ns, std::uint64_t end_ns,
+              int depth, int round);
+
+  const std::vector<Span>& spans() const noexcept { return spans_; }
+
+  /// Nesting depth of the currently open PhaseTimer chain.
+  int open_depth() const noexcept { return open_depth_; }
+
+  /// Current round annotation applied to newly recorded spans (set by the
+  /// simulator at each round boundary).
+  void set_round(int round) noexcept { round_ = round; }
+  int round() const noexcept { return round_; }
+
+  /// Total recorded time, by span name, in nanoseconds (top-level and
+  /// nested spans both count toward their own name).
+  std::uint64_t total_ns(const std::string& name) const noexcept;
+
+  /// The Chrome trace_event document: {"traceEvents":[...]} with one
+  /// complete ("ph":"X") event per span, microsecond timestamps, and the
+  /// round number under "args". `pid`/`tid` label the process/track.
+  std::string to_chrome_json(int pid = 0, int tid = 0) const;
+
+  /// Writes to_chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path, int pid = 0,
+                         int tid = 0) const;
+
+ private:
+  friend class PhaseTimer;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;
+  int open_depth_ = 0;
+  int round_ = -1;
+};
+
+/// RAII span. Constructing against a null recorder is a no-op (the
+/// zero-cost-when-disabled contract: one pointer test per phase, nothing
+/// else). Timers nest: inner spans record at depth+1 and always close
+/// before their enclosing timer by construction.
+class PhaseTimer {
+ public:
+  PhaseTimer(TraceRecorder* recorder, const char* name)
+      : recorder_(recorder), name_(name) {
+    if (recorder_ == nullptr) return;
+    depth_ = recorder_->open_depth_++;
+    begin_ns_ = recorder_->now_ns();
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  ~PhaseTimer() {
+    if (recorder_ == nullptr) return;
+    --recorder_->open_depth_;
+    recorder_->record(name_, begin_ns_, recorder_->now_ns(), depth_,
+                      recorder_->round());
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  std::uint64_t begin_ns_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace qlec::obs

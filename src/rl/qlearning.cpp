@@ -34,6 +34,8 @@ double TabularQLearner::update(std::size_t s, std::size_t a, double reward,
   const double bootstrap = terminal ? 0.0 : cfg_.gamma * q_.max_q(s2);
   const double delta = q_.blend(s, a, reward + bootstrap, cfg_.alpha);
   tracker_.record(delta);
+  if (updates_metric_ != nullptr) updates_metric_->inc();
+  if (delta_metric_ != nullptr) delta_metric_->set(delta);
   return delta;
 }
 

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rl/convergence.hpp"
 #include "rl/qtable.hpp"
 #include "util/rng.hpp"
@@ -70,10 +71,21 @@ class TabularQLearner {
   const Config& config() const noexcept { return cfg_; }
   const ConvergenceTracker& convergence() const noexcept { return tracker_; }
 
+  /// Optional telemetry binding (nullptrs detach): `updates` counts every
+  /// update() call, `last_delta` tracks the most recent |Q delta|. Purely
+  /// observational; the caller owns both instruments (obs::MetricsRegistry
+  /// references stay valid for the registry's lifetime).
+  void bind_metrics(obs::Counter* updates, obs::Gauge* last_delta) noexcept {
+    updates_metric_ = updates;
+    delta_metric_ = last_delta;
+  }
+
  private:
   Config cfg_;
   QTable q_;
   ConvergenceTracker tracker_{1e-6, 16};
+  obs::Counter* updates_metric_ = nullptr;
+  obs::Gauge* delta_metric_ = nullptr;
 };
 
 /// Environment callback signature for `train_episodes`: given (state,

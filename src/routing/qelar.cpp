@@ -74,6 +74,7 @@ int QelarRouter::train_episode(int source, std::size_t max_hops, Rng& rng) {
     }
     v_[static_cast<std::size_t>(u)] = best_q;
     ++updates_;
+    if (updates_metric_ != nullptr) updates_metric_->inc();
 
     const Edge* chosen = best;
     if (params_.epsilon > 0.0 && rng.bernoulli(params_.epsilon))

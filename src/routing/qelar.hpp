@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
 #include "routing/graph.hpp"
 #include "util/rng.hpp"
 
@@ -69,6 +70,13 @@ class QelarRouter {
   double v(int node) const;
   std::size_t updates() const noexcept { return updates_; }
 
+  /// Optional telemetry binding (nullptr detaches): bumps the counter once
+  /// per V update. Purely observational; the counter must outlive the
+  /// router (obs::MetricsRegistry references do).
+  void bind_update_counter(obs::Counter* counter) noexcept {
+    updates_metric_ = counter;
+  }
+
  private:
   double reward(int u, const Edge& e) const;
 
@@ -78,6 +86,7 @@ class QelarRouter {
   double y_scale_ = 1.0;
   std::vector<double> v_;
   std::size_t updates_ = 0;
+  obs::Counter* updates_metric_ = nullptr;
 };
 
 }  // namespace qlec

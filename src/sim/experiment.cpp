@@ -27,6 +27,14 @@ std::vector<SimResult> run_replications(const std::string& protocol_name,
     // Distinct stream for protocol/sim randomness vs deployment.
     Rng rng(seed ^ 0xD1B54A32D192ED03ULL);
     auto protocol = make_protocol(protocol_name, net, protocol_opts);
+    if (cfg.seeds > 1 && cfg.sim.telemetry.enabled) {
+      // Each replication gets its own telemetry output files ("ev.jsonl" ->
+      // "ev.seed3.jsonl"), so pool-mode seeds never share a sink.
+      SimConfig sim = cfg.sim;
+      sim.telemetry = obs::Telemetry::with_seed_suffix(sim.telemetry, i);
+      results[i] = run_simulation(net, *protocol, sim, rng);
+      return;
+    }
     results[i] = run_simulation(net, *protocol, cfg.sim, rng);
   };
   if (cfg.seeds > 1 && exec.is_borrow()) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 
 namespace qlec {
 
@@ -33,6 +34,16 @@ FaultInjector::FaultInjector(const FaultConfig& cfg, std::size_t n,
                    });
 }
 
+void FaultInjector::note(const char* kind, int node, int until_round) {
+  if (telemetry_ == nullptr) return;
+  telemetry_->metrics().counter("fault.transitions").inc();
+  obs::Event e("fault", round_);
+  e.with("kind", kind);
+  if (node >= 0) e.with("node", node);
+  if (until_round >= 0) e.with("until", until_round);
+  telemetry_->emit(e);
+}
+
 void FaultInjector::crash(Network& net, int id, std::vector<int>& crashed) {
   SensorNode& node = net.node(id);
   if (!node.operational(death_line_) &&
@@ -43,6 +54,7 @@ void FaultInjector::crash(Network& net, int id, std::vector<int>& crashed) {
   crashed.push_back(id);
   ++crashes_;
   ++disruptions_round_;
+  note("crash", id, -1);
 }
 
 void FaultInjector::stun(Network& net, int id, int until_round) {
@@ -54,6 +66,7 @@ void FaultInjector::stun(Network& net, int id, int until_round) {
       std::max(stun_until_[static_cast<std::size_t>(id)], until_round);
   ++stuns_;
   ++disruptions_round_;
+  note("stun", id, stun_until_[static_cast<std::size_t>(id)]);
 }
 
 void FaultInjector::fade(Network& net, int id, double fraction,
@@ -65,6 +78,13 @@ void FaultInjector::fade(Network& net, int id, double fraction,
   if (joules <= 0.0) return;
   fades.push_back(Fade{id, joules});
   ++fades_;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().counter("fault.transitions").inc();
+    telemetry_->emit(obs::Event("fault", round_)
+                         .with("kind", "battery-fade")
+                         .with("node", id)
+                         .with("joules", joules));
+  }
 }
 
 void FaultInjector::apply_event(Network& net, const FaultEvent& e, int round,
@@ -83,6 +103,7 @@ void FaultInjector::apply_event(Network& net, const FaultEvent& e, int round,
     case FaultKind::kBlackout:
       ++blackouts_;
       ++disruptions_round_;
+      note("blackout", -1, e.permanent ? -1 : until);
       for (const SensorNode& n : net.nodes()) {
         if (!e.region.contains(n.pos)) continue;
         if (e.permanent) {
@@ -96,10 +117,12 @@ void FaultInjector::apply_event(Network& net, const FaultEvent& e, int round,
       degrade_until_ = std::max(degrade_until_, until);
       degrade_factor_ = std::clamp(e.severity, 0.0, 1.0);
       ++disruptions_round_;
+      note("link-degrade", -1, degrade_until_);
       break;
     case FaultKind::kBsOutage:
       bs_down_until_ = std::max(bs_down_until_, until);
       ++disruptions_round_;
+      note("bs-outage", -1, bs_down_until_);
       break;
     case FaultKind::kBatteryFade:
       if (e.node >= 0 && static_cast<std::size_t>(e.node) < net.size())
@@ -141,12 +164,14 @@ void FaultInjector::sample_hazards(Network& net, int round,
       degrade_until_ = round + std::max(hazards_.degrade_rounds, 1);
       degrade_factor_ = std::clamp(hazards_.degrade_factor, 0.0, 1.0);
       ++disruptions_round_;
+      note("link-degrade", -1, degrade_until_);
     }
   }
   if (hazards_.bs_outage > 0.0 && bs_down_until_ <= round) {
     if (rng_.bernoulli(hazards_.bs_outage)) {
       bs_down_until_ = round + std::max(hazards_.bs_outage_rounds, 1);
       ++disruptions_round_;
+      note("bs-outage", -1, bs_down_until_);
     }
   }
 }
@@ -166,6 +191,7 @@ void FaultInjector::begin_round(Network& net, int round,
       cause_[i] = DownCause::kNone;
       stun_until_[i] = -1;
       net.node(static_cast<int>(i)).up = true;
+      note("wake", static_cast<int>(i), -1);
     }
   }
 

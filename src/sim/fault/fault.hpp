@@ -32,6 +32,10 @@ namespace qlec {
 
 class Network;
 
+namespace obs {
+class Telemetry;  // obs/telemetry.hpp
+}
+
 enum class FaultKind : int {
   kCrash,       ///< permanent node failure (node stays down forever)
   kStun,        ///< transient sleep window: down for `duration` rounds
@@ -155,7 +159,18 @@ class FaultInjector {
   }
   std::uint64_t degraded_rounds() const noexcept { return degraded_rounds_; }
 
+  /// Attaches the telemetry context for the current run (nullptr detaches;
+  /// the simulator manages the lifetime). Strictly observational: neither
+  /// the fault Rng stream nor any up/down decision is affected — applied
+  /// transitions are merely mirrored as {"type":"fault"} events and a
+  /// "fault.transitions" counter.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
  private:
+  /// Emits one {"type":"fault"} transition event (no-op when detached).
+  void note(const char* kind, int node, int until_round);
   void crash(Network& net, int id, std::vector<int>& crashed);
   void stun(Network& net, int id, int until_round);
   void fade(Network& net, int id, double fraction, std::vector<Fade>& fades);
@@ -169,6 +184,7 @@ class FaultInjector {
   std::size_t next_event_ = 0;
   double death_line_ = 0.0;
   Rng rng_;
+  obs::Telemetry* telemetry_ = nullptr;
 
   int round_ = -1;
   std::vector<DownCause> cause_;

@@ -13,6 +13,10 @@
 
 namespace qlec {
 
+namespace obs {
+class Telemetry;  // obs/telemetry.hpp
+}
+
 class ClusteringProtocol {
  public:
   virtual ~ClusteringProtocol() = default;
@@ -63,6 +67,21 @@ class ClusteringProtocol {
   /// Number of value/Q updates the protocol has performed so far (0 for
   /// non-learning protocols); surfaces the X of Theorem 3 in results.
   virtual std::size_t learning_updates() const { return 0; }
+
+  /// Attaches the telemetry context for the coming run (nullptr detaches).
+  /// The simulator calls this around run_simulation when
+  /// SimConfig::telemetry is enabled; the pointer is only valid for that
+  /// run. Strictly observational: protocols may emit events and bump
+  /// counters through it but must not let it influence any decision.
+  /// Overriders (e.g. protocols owning a sub-router that self-instruments)
+  /// must call the base implementation.
+  virtual void set_telemetry(obs::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
+ protected:
+  /// The attached context, or nullptr (the common, zero-cost case).
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace qlec

@@ -1,5 +1,7 @@
 #include "sim/protocols/qelar_protocol.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace qlec {
 
 QelarProtocol::QelarProtocol(Config cfg) : cfg_(cfg) {
@@ -18,6 +20,10 @@ void QelarProtocol::on_round_start(Network& net, int round, Rng& rng,
   graph_ = std::make_unique<ConnectivityGraph>(net, cfg_.comm_range,
                                                cfg_.packet_bits, radio_);
   router_ = std::make_unique<QelarRouter>(*graph_, net, cfg_.qelar);
+  // Re-attach after every rebuild; the registry reference outlives the run.
+  if (telemetry_ != nullptr)
+    router_->bind_update_counter(
+        &telemetry_->metrics().counter("qelar.v_updates"));
   for (int s = 0; s < cfg_.sweeps_per_round; ++s) {
     for (std::size_t i = 0; i < net.size(); ++i) {
       if (!net.node(static_cast<int>(i)).operational(0.0)) continue;

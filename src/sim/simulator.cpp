@@ -7,6 +7,7 @@
 #include "energy/radio_model.hpp"
 #include "net/queue.hpp"
 #include "net/traffic.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/audit.hpp"
 
 namespace qlec {
@@ -73,6 +74,20 @@ class SimRun {
                        cfg.harvest_per_round > 0.0,
                        cfg.audit.throw_on_violation, cfg.fault.enabled);
     }
+    if (cfg.telemetry.enabled) {
+      // Strictly observational (no Rng draws, no state influence): the
+      // trajectory is bit-identical with telemetry on or off.
+      telemetry_ = std::make_unique<obs::Telemetry>(cfg.telemetry);
+      tracer_ = telemetry_->tracer();
+      retries_ = &telemetry_->metrics().counter("sim.tx.retries");
+      protocol.set_telemetry(telemetry_.get());
+      if (fault_) fault_->set_telemetry(telemetry_.get());
+    }
+  }
+
+  ~SimRun() {
+    // The protocol outlives this run; never leave it a dangling context.
+    if (telemetry_ != nullptr) protocol_.set_telemetry(nullptr);
   }
 
   SimResult run();
@@ -133,6 +148,24 @@ class SimRun {
   };
   void deliver_aggregate(int head, HeadBuffer& buf);
 
+  /// Per-round telemetry roll-up (called only while telemetry is attached):
+  /// packet counters advance by this round's cumulative deltas, liveness
+  /// gauges refresh, and one "round_end" event summarizes the round.
+  [[gnu::cold]] void emit_round_metrics(int round, std::size_t alive_now,
+                                        std::size_t head_ct);
+
+  /// Retry bookkeeping, outlined so the Event construction never bloats
+  /// the deliver loops (the hot path keeps only the null-telemetry test).
+  [[gnu::noinline, gnu::cold]] void note_retry(int src, int target,
+                                               int attempt) {
+    retries_->inc();
+    if (telemetry_->per_packet_events())
+      telemetry_->emit(obs::Event("retry", cur_round_)
+                           .with("src", src)
+                           .with("target", target)
+                           .with("attempt", attempt));
+  }
+
   void record_delivery(Packet& p, std::int64_t slot) {
     p.deliver_slot = slot;
     ++result_.delivered;
@@ -170,6 +203,18 @@ class SimRun {
   const Vec3 bs_;
 
   std::optional<SimAuditor> auditor_;  // engaged when cfg.audit.enabled
+
+  // Engaged when cfg.telemetry.enabled; all instrumented sites below guard
+  // on these pointers, so the disabled path costs one null test each.
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  obs::TraceRecorder* tracer_ = nullptr;  // null unless trace_phases
+  obs::Counter* retries_ = nullptr;
+  int cur_round_ = -1;  // for events emitted from the packet path
+  // Previous-round cumulative totals, for per-round counter deltas.
+  struct {
+    std::uint64_t generated = 0, delivered = 0;
+    std::uint64_t lost_link = 0, lost_queue = 0, lost_dead = 0;
+  } emitted_;
 
   std::optional<FaultInjector> fault_;  // engaged when cfg.fault.enabled
   std::vector<FaultInjector::Fade> fade_ops_;  // per-round fade scratch
@@ -223,6 +268,8 @@ void SimRun::deliver_from(int src, Packet p) {
     // Re-consult the protocol on every retry: the failed b_i -> b_i
     // transition leaves the agent free to pick a different action.
     const int target = protocol_.route(net_, src, p.bits, rng_);
+    if (attempt > 0 && telemetry_ != nullptr)
+      note_retry(src, target, attempt);
     const double d = dist(src, target);
     charge(src, EnergyUse::kTransmit, radio_.tx_energy(p.bits, d));
     ++p.hops;
@@ -294,6 +341,7 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
     bool success = false;
     bool target_up = false;
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+      if (attempt > 0 && telemetry_ != nullptr) retries_->inc();
       const double d = dist(holder, target);
       charge(holder, EnergyUse::kTransmit, radio_.tx_energy(buf.bits, d));
       target_up = target == kBaseStationId ? bs_up() : alive(target);
@@ -345,9 +393,42 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
   result_.lost_link += buf.packets.size();
 }
 
+void SimRun::emit_round_metrics(int round, std::size_t alive_now,
+                                std::size_t head_ct) {
+  obs::MetricsRegistry& m = telemetry_->metrics();
+  m.counter("sim.rounds").inc();
+  m.counter("sim.packets.generated")
+      .inc(result_.generated - emitted_.generated);
+  m.counter("sim.packets.delivered")
+      .inc(result_.delivered - emitted_.delivered);
+  m.counter("sim.packets.lost.link")
+      .inc(result_.lost_link - emitted_.lost_link);
+  m.counter("sim.packets.lost.queue")
+      .inc(result_.lost_queue - emitted_.lost_queue);
+  m.counter("sim.packets.lost.dead")
+      .inc(result_.lost_dead - emitted_.lost_dead);
+  emitted_ = {result_.generated, result_.delivered, result_.lost_link,
+              result_.lost_queue, result_.lost_dead};
+  m.gauge("sim.alive").set(static_cast<double>(alive_now));
+  m.histogram("sim.heads_per_round", 0.0, 64.0, 32)
+      .add(static_cast<double>(head_ct));
+  telemetry_->emit(obs::Event("round_end", round)
+                       .with("alive", alive_now)
+                       .with("heads", head_ct)
+                       .with("residual_j", net_.total_residual_energy())
+                       .with("generated", result_.generated)
+                       .with("delivered", result_.delivered));
+}
+
 SimResult SimRun::run() {
   const std::size_t n = net_.size();
   for (int round = 0; round < cfg_.rounds; ++round) {
+    cur_round_ = round;
+    if (tracer_ != nullptr) tracer_->set_round(round);
+    // Spans nest: "round" encloses the election/transmission/uplink/
+    // maintenance child phases below (Chrome trace "X" events reconstruct
+    // the hierarchy from containment on one track).
+    obs::PhaseTimer round_span(tracer_, "round");
     // Faults fire strictly at the round boundary, before the auditor
     // snapshots state and before election — so every downstream phase (and
     // the auditor's down-at-round-start view) sees a consistent topology.
@@ -363,17 +444,27 @@ SimResult SimRun::run() {
       del_at_round_start_ = result_.delivered;
     }
     if (auditor_) auditor_->begin_round(net_, round, result_.energy);
-    mobility_.step(net_, cfg_.death_line, rng_);
-    protocol_.on_round_start(net_, round, rng_, result_.energy);
-    // Retire the outgoing round's queue-slot mapping before the refresh
-    // overwrites rs_.heads (flat mode keeps the identity mapping forever).
-    if (!flat_)
-      for (const int h : rs_.heads)
-        rs_.queue_slot[static_cast<std::size_t>(h)] = -1;
-    refresh_round_state();
     const std::vector<int>& heads = rs_.heads;
+    {
+      obs::PhaseTimer election_span(tracer_, "election");
+      mobility_.step(net_, cfg_.death_line, rng_);
+      protocol_.on_round_start(net_, round, rng_, result_.energy);
+      // Retire the outgoing round's queue-slot mapping before the refresh
+      // overwrites rs_.heads (flat mode keeps the identity mapping forever).
+      if (!flat_)
+        for (const int h : heads)
+          rs_.queue_slot[static_cast<std::size_t>(h)] = -1;
+      refresh_round_state();
+    }
     result_.heads_per_round.add(static_cast<double>(heads.size()));
     if (auditor_) auditor_->on_heads_elected(net_, heads);
+    if (telemetry_) {
+      std::size_t alive_ct = 0;
+      for (const std::uint8_t a : rs_.alive) alive_ct += a;
+      telemetry_->emit(obs::Event("election", round)
+                           .with("heads", heads.size())
+                           .with("alive", alive_ct));
+    }
     if (fault_ && !flat_) {
       // A fault wave that leaves no electable head strands every surviving
       // member for the round — the "orphaned members" resilience signal.
@@ -416,6 +507,10 @@ SimResult SimRun::run() {
     injections_.swap(carryover_);
     carryover_.clear();
 
+    // One scoped-phase slot reused across the sequential phases below:
+    // each emplace() closes the previous span before opening the next.
+    std::optional<obs::PhaseTimer> phase(std::in_place, tracer_,
+                                         "transmission");
     for (int slot = 0; slot < cfg_.slots_per_round; ++slot) {
       // (a) flat-mode relay service runs FIRST and two-phase (stage all
       // pops, then forward), so every relay hop costs at least one slot —
@@ -486,6 +581,7 @@ SimResult SimRun::run() {
       }
       ++global_slot_;
     }
+    phase.emplace(tracer_, "uplink");
 
     if (!flat_) {
       // (d) round-end uplinks.
@@ -508,6 +604,7 @@ SimResult SimRun::run() {
       }
     }
 
+    phase.emplace(tracer_, "maintenance");
     // Fault-down nodes can't run their harvester either — their batteries
     // stay exactly frozen for the whole down window (audit invariant d2).
     if (cfg_.harvest_per_round > 0.0) {
@@ -528,11 +625,12 @@ SimResult SimRun::run() {
       for (std::size_t i = 0; i < active; ++i) in_flight += queues_[i].size();
       auditor_->end_round(net_, result_.energy, result_, in_flight);
     }
+    phase.reset();
 
     // (f) lifespan bookkeeping.
     const std::size_t alive_now = net_.alive_count(cfg_.death_line);
     if (fault_) {
-      std::uint64_t down = 0;
+      std::uint32_t down = 0;
       for (const SensorNode& node : net_.nodes())
         if (!node.up) ++down;
       result_.resilience.per_round.push_back(RoundResilience{
@@ -546,6 +644,7 @@ SimResult SimRun::run() {
           round, alive_now, heads.size(), net_.total_residual_energy(),
           result_.generated, result_.delivered});
     }
+    if (telemetry_) emit_round_metrics(round, alive_now, heads.size());
     if (result_.first_death_round < 0 && alive_now < n)
       result_.first_death_round = round;
     if (result_.half_death_round < 0 && alive_now <= n / 2)

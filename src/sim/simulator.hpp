@@ -11,6 +11,7 @@
 #include "net/link.hpp"
 #include "net/mobility.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/fault/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
@@ -79,6 +80,12 @@ struct SimConfig {
   /// Fault injection (sim/fault). Disabled by default; a disabled config
   /// leaves the simulation — and every golden-trace digest — bit-identical.
   FaultConfig fault;
+  /// Telemetry (src/obs): structured events, metric counters, and phase
+  /// timers. Disabled by default (no Telemetry object is constructed at
+  /// all); even enabled it is strictly observational — no extra Rng draws —
+  /// so traces and golden digests stay bit-identical either way. See
+  /// OBSERVABILITY.md.
+  obs::TelemetryOptions telemetry;
 };
 
 /// Runs the full simulation, mutating `net` (battery drain, head flags).

@@ -11,6 +11,11 @@
 //                            speedup reporting
 //   QLEC_FAULT_INTENSITY=<x> extra multiplier (> 0, default 1) on every
 //                            hazard rate in the resilience sweep
+//   QLEC_TELEMETRY=1         enable the obs/ telemetry layer (ring sink)
+//   QLEC_TELEMETRY_EVENTS=<p>  write JSONL events to <p> (implies enabled)
+//   QLEC_TELEMETRY_TRACE=<p>   write a Chrome trace_event JSON to <p>
+//   QLEC_TELEMETRY_METRICS=<p> write the end-of-run metrics JSON to <p>
+//   QLEC_TELEMETRY_VERBOSE=1 also emit per-packet events (retry, q_update)
 #pragma once
 
 #include <cstdlib>
@@ -65,6 +70,21 @@ inline std::size_t perf_repeats(std::size_t def) {
 
 /// QLEC_PERF_BASELINE: path to a baseline BENCH_scaling.json to embed.
 inline std::string perf_baseline() { return str("QLEC_PERF_BASELINE"); }
+
+/// QLEC_TELEMETRY: enable the obs/ telemetry layer with in-memory sinks.
+inline bool telemetry() { return flag("QLEC_TELEMETRY"); }
+
+/// QLEC_TELEMETRY_EVENTS: JSONL event output path (implies enabled).
+inline std::string telemetry_events() { return str("QLEC_TELEMETRY_EVENTS"); }
+
+/// QLEC_TELEMETRY_TRACE: Chrome trace_event JSON output path.
+inline std::string telemetry_trace() { return str("QLEC_TELEMETRY_TRACE"); }
+
+/// QLEC_TELEMETRY_METRICS: end-of-run metrics JSON output path.
+inline std::string telemetry_metrics() { return str("QLEC_TELEMETRY_METRICS"); }
+
+/// QLEC_TELEMETRY_VERBOSE: per-packet events (retry, q_update) too.
+inline bool telemetry_verbose() { return flag("QLEC_TELEMETRY_VERBOSE"); }
 
 /// QLEC_FAULT_INTENSITY: multiplier applied to every hazard rate in the
 /// resilience sweep (default 1; unset/unparsable/non-positive -> fallback).

@@ -1,9 +1,16 @@
-// Minimal JSON *writer* (no parser): enough to export result records for
-// downstream tooling without external dependencies. Produces compact,
-// valid JSON with correct string escaping and round-trippable doubles.
+// Minimal JSON writer + recursive-descent parser: enough to export result
+// records for downstream tooling and to round-trip them in tests, without
+// external dependencies. The writer produces compact, valid JSON with
+// correct string escaping and round-trippable doubles; the parser accepts
+// exactly RFC 8259 JSON (it exists to validate and inspect documents this
+// repo itself emits — telemetry JSONL, Chrome traces, BENCH files).
 #pragma once
 
+#include <cstddef>
+#include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qlec {
@@ -50,5 +57,64 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> needs_comma_;  // one per open container
 };
+
+/// A parsed JSON document node. Numbers are stored as double (the writer
+/// emits %.17g, so integral values up to 2^53 round-trip exactly); object
+/// member order is preserved as written.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  double as_double() const noexcept { return number_; }
+  long long as_int() const noexcept { return static_cast<long long>(number_); }
+  const std::string& as_string() const noexcept { return string_; }
+
+  /// Array access. `size()` is also the member count for objects.
+  std::size_t size() const noexcept {
+    return kind_ == Kind::kObject ? members_.size() : items_.size();
+  }
+  const JsonValue& at(std::size_t i) const { return items_.at(i); }
+  const std::vector<JsonValue>& items() const noexcept { return items_; }
+
+  /// Object lookup: the value under `key`, or nullptr when absent (or when
+  /// this node is not an object).
+  const JsonValue* get(const std::string& key) const noexcept;
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  // Construction (used by the parser; handy for tests too).
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Returns nullopt on malformed input; when `error` is
+/// non-null it receives a one-line description with the byte offset.
+std::optional<JsonValue> parse_json(const std::string& text,
+                                    std::string* error = nullptr);
 
 }  // namespace qlec

@@ -8,6 +8,9 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
 std::mutex g_emit_mutex;
+// Guarded by g_emit_mutex (both replacement and invocation), so a writer
+// swap never races an in-flight emit.
+Writer g_writer;
 
 const char* level_name(Level l) {
   switch (l) {
@@ -36,7 +39,16 @@ bool enabled(Level l) {
 
 void emit(Level l, const std::string& message) {
   const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  if (g_writer) {
+    g_writer(l, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(l), message.c_str());
+}
+
+void set_writer(Writer writer) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  g_writer = std::move(writer);
 }
 
 }  // namespace qlec::log

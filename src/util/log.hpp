@@ -1,8 +1,17 @@
 // Tiny leveled logger. Simulations are hot loops, so logging is opt-in and
 // the disabled path is a single branch on an atomic.
+//
+// Thread-safety contract (relevant under ExecPolicy::pool replications,
+// where several SimRuns log concurrently): the level threshold is a relaxed
+// atomic, and every emit() — whatever thread it comes from — serializes on
+// one process-wide mutex, so complete lines never interleave. The writer
+// seam below is covered by the same mutex; installing a writer while other
+// threads are emitting is safe, though lines already past the level check
+// may land in either writer.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -19,6 +28,15 @@ bool enabled(Level l);
 
 /// Emits a message (thread-safe; one line per call, prefixed with level).
 void emit(Level l, const std::string& message);
+
+/// Replaces the output backend. The default writes "[LEVEL] message\n" to
+/// stderr; a custom writer receives the level and the unformatted message
+/// (e.g. obs::LogCapture forwards them into a telemetry EventSink).
+/// Writers are invoked under the emit mutex — keep them non-blocking and
+/// never call back into qlec::log from inside one. Pass nullptr to restore
+/// the stderr default.
+using Writer = std::function<void(Level, const std::string&)>;
+void set_writer(Writer writer);
 
 namespace detail {
 inline void append(std::ostringstream&) {}

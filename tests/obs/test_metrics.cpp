@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace qlec {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  obs::Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  obs::MetricsRegistry m;
+  obs::Counter& a = m.counter("sim.rounds");
+  a.inc(7);
+  EXPECT_EQ(&m.counter("sim.rounds"), &a);
+  EXPECT_EQ(m.counter("sim.rounds").value(), 7u);
+  obs::Gauge& g = m.gauge("sim.alive");
+  g.set(9.0);
+  EXPECT_EQ(&m.gauge("sim.alive"), &g);
+}
+
+TEST(MetricsRegistry, ReferencesStayValidAcrossManyInserts) {
+  obs::MetricsRegistry m;
+  obs::Counter& first = m.counter("a.first");
+  first.inc();
+  // Stable node-based storage: inserting many more instruments must not
+  // invalidate the reference hot paths cached at attach time.
+  for (int i = 0; i < 200; ++i)
+    m.counter("bulk." + std::to_string(i)).inc();
+  first.inc();
+  EXPECT_EQ(m.counter_value("a.first"), 2u);
+  EXPECT_EQ(m.size(), 201u);
+}
+
+TEST(MetricsRegistry, LookupOnlyAccessorsDoNotCreate) {
+  obs::MetricsRegistry m;
+  EXPECT_EQ(m.counter_value("never.registered"), 0u);
+  EXPECT_DOUBLE_EQ(m.gauge_value("never.registered"), 0.0);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MetricsRegistry, HistogramBoundsFixedByFirstRegistration) {
+  obs::MetricsRegistry m;
+  Histogram& h = m.histogram("sim.heads", 0.0, 10.0, 5);
+  h.add(1.0);
+  // A later registration with different bounds returns the same histogram.
+  Histogram& again = m.histogram("sim.heads", -100.0, 100.0, 50);
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.bins(), 5u);
+  EXPECT_EQ(again.total(), 1u);
+}
+
+TEST(MetricsRegistry, ToJsonParsesAndCarriesValues) {
+  obs::MetricsRegistry m;
+  m.counter("sim.packets.generated").inc(123);
+  m.gauge("qlec.k_opt").set(5.0);
+  m.histogram("sim.heads", 0.0, 8.0, 4).add(3.0);
+
+  std::string err;
+  const auto doc = parse_json(m.to_json(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* counters = doc->get("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* gen = counters->get("sim.packets.generated");
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(gen->as_int(), 123);
+  const JsonValue* gauges = doc->get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->get("qlec.k_opt")->as_double(), 5.0);
+  const JsonValue* hists = doc->get("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* heads = hists->get("sim.heads");
+  ASSERT_NE(heads, nullptr);
+  EXPECT_EQ(heads->get("total")->as_int(), 1);
+  ASSERT_NE(heads->get("bins"), nullptr);
+  EXPECT_EQ(heads->get("bins")->size(), 4u);
+}
+
+TEST(MetricsRegistry, EmptyRegistryStillEmitsValidJson) {
+  obs::MetricsRegistry m;
+  std::string err;
+  const auto doc = parse_json(m.to_json(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_TRUE(doc->get("counters")->is_object());
+}
+
+}  // namespace
+}  // namespace qlec

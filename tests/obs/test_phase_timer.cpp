@@ -1,0 +1,117 @@
+#include "obs/phase_timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace qlec {
+namespace {
+
+TEST(PhaseTimer, NullRecorderIsANoOp) {
+  obs::PhaseTimer t(nullptr, "phase");
+  SUCCEED();
+}
+
+TEST(PhaseTimer, RecordsNestedSpansWithDepths) {
+  obs::TraceRecorder rec;
+  rec.set_round(3);
+  {
+    obs::PhaseTimer outer(&rec, "round");
+    EXPECT_EQ(rec.open_depth(), 1);
+    {
+      obs::PhaseTimer inner(&rec, "election");
+      EXPECT_EQ(rec.open_depth(), 2);
+    }
+    EXPECT_EQ(rec.open_depth(), 1);
+  }
+  EXPECT_EQ(rec.open_depth(), 0);
+
+  // Inner closes first, so it is recorded first.
+  ASSERT_EQ(rec.spans().size(), 2u);
+  const obs::TraceRecorder::Span& inner = rec.spans()[0];
+  const obs::TraceRecorder::Span& outer = rec.spans()[1];
+  EXPECT_EQ(inner.name, "election");
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(outer.name, "round");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.round, 3);
+  EXPECT_EQ(outer.round, 3);
+
+  // Monotone and properly contained.
+  EXPECT_LE(inner.begin_ns, inner.end_ns);
+  EXPECT_LE(outer.begin_ns, outer.end_ns);
+  EXPECT_LE(outer.begin_ns, inner.begin_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+}
+
+TEST(TraceRecorder, NowNsIsMonotone) {
+  obs::TraceRecorder rec;
+  const std::uint64_t a = rec.now_ns();
+  const std::uint64_t b = rec.now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(TraceRecorder, TotalNsSumsByName) {
+  obs::TraceRecorder rec;
+  rec.record("tx", 0, 100, 0, 0);
+  rec.record("tx", 200, 250, 0, 1);
+  rec.record("uplink", 100, 180, 0, 0);
+  EXPECT_EQ(rec.total_ns("tx"), 150u);
+  EXPECT_EQ(rec.total_ns("uplink"), 80u);
+  EXPECT_EQ(rec.total_ns("absent"), 0u);
+}
+
+TEST(TraceRecorder, ChromeJsonParsesWithExpectedShape) {
+  obs::TraceRecorder rec;
+  rec.set_round(5);
+  { obs::PhaseTimer t(&rec, "round"); }
+
+  std::string err;
+  const auto doc = parse_json(rec.to_chrome_json(1, 2), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const JsonValue* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 1u);
+  const JsonValue& e = events->at(0);
+  EXPECT_EQ(e.get("name")->as_string(), "round");
+  EXPECT_EQ(e.get("ph")->as_string(), "X");
+  EXPECT_EQ(e.get("pid")->as_int(), 1);
+  EXPECT_EQ(e.get("tid")->as_int(), 2);
+  EXPECT_GE(e.get("dur")->as_double(), 0.0);
+  const JsonValue* args = e.get("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->get("round")->as_int(), 5);
+}
+
+TEST(TraceRecorder, WriteChromeJsonProducesLoadableFile) {
+  obs::TraceRecorder rec;
+  { obs::PhaseTimer t(&rec, "round"); }
+  const std::string path = "test_obs_trace.json";
+  ASSERT_TRUE(rec.write_chrome_json(path));
+  std::ifstream in(path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  std::string err;
+  EXPECT_TRUE(parse_json(body.str(), &err).has_value()) << err;
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, RoundAnnotationFollowsSetRound) {
+  obs::TraceRecorder rec;
+  EXPECT_EQ(rec.round(), -1);
+  { obs::PhaseTimer t(&rec, "setup"); }  // before any round
+  rec.set_round(0);
+  { obs::PhaseTimer t(&rec, "round"); }
+  ASSERT_EQ(rec.spans().size(), 2u);
+  EXPECT_EQ(rec.spans()[0].round, -1);
+  EXPECT_EQ(rec.spans()[1].round, 0);
+}
+
+}  // namespace
+}  // namespace qlec

@@ -102,5 +102,83 @@ TEST(JsonWriter, NegativeAndLargeIntegers) {
   EXPECT_EQ(j.str(), "[-7,4611686018427387904]");
 }
 
+TEST(JsonParser, ScalarDocuments) {
+  EXPECT_TRUE(parse_json("null")->is_null());
+  EXPECT_TRUE(parse_json("true")->as_bool());
+  EXPECT_FALSE(parse_json("false")->as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("-12.5e2")->as_double(), -1250.0);
+  EXPECT_EQ(parse_json("\"hi\"")->as_string(), "hi");
+  EXPECT_EQ(parse_json("  42  ")->as_int(), 42);
+}
+
+TEST(JsonParser, ObjectsPreserveMemberOrder) {
+  const auto doc = parse_json("{\"b\":1,\"a\":{\"nested\":[1,2,3]}}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_EQ(doc->members().size(), 2u);
+  EXPECT_EQ(doc->members()[0].first, "b");
+  EXPECT_EQ(doc->members()[1].first, "a");
+  const JsonValue* nested = doc->get("a")->get("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_EQ(nested->size(), 3u);
+  EXPECT_EQ(nested->at(2).as_int(), 3);
+  EXPECT_EQ(doc->get("missing"), nullptr);
+}
+
+TEST(JsonParser, StringEscapesDecodeIncludingUnicode) {
+  const auto doc =
+      parse_json("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\\ud83d\\ude00\"");
+  ASSERT_TRUE(doc.has_value());
+  // A = 'A'; é = e-acute (2-byte UTF-8); the surrogate pair is
+  // the 4-byte grinning-face emoji.
+  EXPECT_EQ(doc->as_string(), "a\"b\\c\n\tA\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  std::string err;
+  EXPECT_FALSE(parse_json("", &err).has_value());
+  EXPECT_FALSE(parse_json("{", &err).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &err).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1,}", &err).has_value());
+  EXPECT_FALSE(parse_json("{'a':1}", &err).has_value());
+  EXPECT_FALSE(parse_json("01", &err).has_value());
+  EXPECT_FALSE(parse_json("1 2", &err).has_value());  // trailing garbage
+  EXPECT_FALSE(parse_json("nul", &err).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse_json("\"bad\\q\"", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParser, RejectsPathologicalNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(parse_json(deep).has_value());
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("name");
+  j.value("q\"lec\n");
+  j.key("pdr");
+  j.value(0.1 + 0.2);
+  j.key("count");
+  j.value(static_cast<unsigned long long>(1) << 53);
+  j.key("tags");
+  j.begin_array();
+  j.value(true);
+  j.null();
+  j.end_array();
+  j.end_object();
+
+  std::string err;
+  const auto doc = parse_json(j.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->get("name")->as_string(), "q\"lec\n");
+  EXPECT_DOUBLE_EQ(doc->get("pdr")->as_double(), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(doc->get("count")->as_double(), 9007199254740992.0);
+  EXPECT_TRUE(doc->get("tags")->at(0).as_bool());
+  EXPECT_TRUE(doc->get("tags")->at(1).is_null());
+}
+
 }  // namespace
 }  // namespace qlec

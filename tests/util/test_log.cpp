@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace qlec {
 namespace {
 
@@ -45,6 +50,74 @@ TEST(Log, VariadicFormattingDoesNotCrash) {
   log::warn();
   log::error("e");
   SUCCEED();
+}
+
+/// RAII: restores the stderr default even when an assertion fails.
+class WriterGuard {
+ public:
+  ~WriterGuard() { log::set_writer(nullptr); }
+};
+
+TEST(Log, CustomWriterReceivesLevelAndMessage) {
+  LogLevelGuard guard;
+  WriterGuard writer_guard;
+  log::set_level(log::Level::kDebug);
+  std::vector<std::pair<log::Level, std::string>> got;
+  log::set_writer([&got](log::Level l, const std::string& m) {
+    got.emplace_back(l, m);
+  });
+  log::info("count=", 3);
+  log::error("boom");
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].first, log::Level::kInfo);
+  EXPECT_EQ(got[0].second, "count=3");
+  EXPECT_EQ(got[1].first, log::Level::kError);
+  EXPECT_EQ(got[1].second, "boom");
+}
+
+TEST(Log, WriterStillGatedByLevel) {
+  LogLevelGuard guard;
+  WriterGuard writer_guard;
+  log::set_level(log::Level::kError);
+  int calls = 0;
+  log::set_writer([&calls](log::Level, const std::string&) { ++calls; });
+  log::debug("dropped");
+  log::warn("dropped");
+  log::error("kept");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Log, ConcurrentEmitsArriveWholeAndComplete) {
+  // The pool-mode contract (header comment): emits serialize on one mutex,
+  // so each message arrives intact — never torn or interleaved — no matter
+  // how many replication threads log at once.
+  LogLevelGuard guard;
+  WriterGuard writer_guard;
+  log::set_level(log::Level::kInfo);
+  std::mutex mu;
+  std::vector<std::string> got;
+  log::set_writer([&](log::Level, const std::string& m) {
+    const std::lock_guard<std::mutex> lock(mu);
+    got.push_back(m);
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        log::info("thread-", t, "-msg-", i, "-end");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  ASSERT_EQ(got.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  for (const std::string& m : got) {
+    EXPECT_EQ(m.rfind("thread-", 0), 0u) << m;
+    EXPECT_NE(m.find("-end"), std::string::npos) << m;
+  }
 }
 
 }  // namespace

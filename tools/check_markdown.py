@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Markdown checker for the repo's committed docs.
+
+Checks, per file:
+  * relative links point at files/directories that exist,
+  * intra-document anchors (``#section``) match a heading's GitHub slug,
+  * code fences are balanced,
+  * no trailing whitespace on heading lines (breaks GitHub anchors).
+
+External links (http/https/mailto) are recognized but not fetched — CI
+must stay hermetic. Exits nonzero with one ``file:line: message`` per
+problem.
+
+Usage: tools/check_markdown.py [file.md ...]
+With no arguments, checks every git-tracked .md file (falling back to a
+filesystem walk outside a git checkout), except the vendored literature
+dumps in EXCLUDE — scraped text whose figure links were never part of
+the repo.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unicodedata
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(\s*)(```+|~~~+)(.*)$")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+# Vendored paper/snippet scrapes, not authored documentation.
+EXCLUDE = {"PAPERS.md", "PAPER.md", "SNIPPETS.md"}
+
+
+def github_slug(heading, seen):
+    """The anchor GitHub generates for a heading, with -1/-2 dedup."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = re.sub(r"[*_]", "", text)                      # emphasis markers
+    text = unicodedata.normalize("NFKD", text)
+    slug = []
+    for ch in text.lower():
+        if ch.isalnum():
+            slug.append(ch)
+        elif ch in " -":
+            slug.append("-")
+        # everything else (punctuation) is dropped
+    slug = "".join(slug)
+    base = slug
+    n = seen.get(base, 0)
+    seen[base] = n + 1
+    return base if n == 0 else f"{base}-{n}"
+
+
+def collect_anchors(lines):
+    anchors = set()
+    seen = {}
+    in_fence = None
+    for line in lines:
+        fence = FENCE_RE.match(line)
+        if fence:
+            marker = fence.group(2)[0] * 3
+            if in_fence is None:
+                in_fence = marker
+            elif fence.group(2).startswith(in_fence):
+                in_fence = None
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    return anchors
+
+
+def check_file(path, anchor_cache):
+    problems = []
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    base_dir = os.path.dirname(os.path.abspath(path))
+    anchor_cache[os.path.abspath(path)] = collect_anchors(lines)
+
+    fence_open_line = None
+    fence_marker = None
+    for lineno, line in enumerate(lines, 1):
+        fence = FENCE_RE.match(line)
+        if fence:
+            if fence_marker is None:
+                fence_marker = fence.group(2)[0] * 3
+                fence_open_line = lineno
+            elif fence.group(2).startswith(fence_marker):
+                fence_marker = None
+            continue
+        if fence_marker is not None:
+            continue
+
+        m = HEADING_RE.match(line)
+        if m is None and re.match(r"^#{1,6}\s+.*\s$", line):
+            problems.append((lineno, "trailing whitespace on heading"))
+
+        for regex in (LINK_RE, IMAGE_RE):
+            for target in regex.findall(line):
+                problems.extend(
+                    (lineno, msg)
+                    for msg in check_link(target, path, base_dir, anchor_cache)
+                )
+
+    if fence_marker is not None:
+        problems.append((fence_open_line, "unclosed code fence"))
+    return problems
+
+
+def check_link(target, path, base_dir, anchor_cache):
+    if EXTERNAL_RE.match(target):
+        return  # external scheme: recognized, not fetched
+    if target.startswith("<") and target.endswith(">"):
+        target = target[1:-1]
+    file_part, _, fragment = target.partition("#")
+    if file_part:
+        resolved = os.path.abspath(os.path.join(base_dir, file_part))
+        if not os.path.exists(resolved):
+            yield f"broken link: {file_part}"
+            return
+    else:
+        resolved = os.path.abspath(path)
+    if fragment:
+        if not resolved.endswith(".md"):
+            return  # anchors into non-markdown files: out of scope
+        if resolved not in anchor_cache:
+            with open(resolved, encoding="utf-8") as f:
+                anchor_cache[resolved] = collect_anchors(f.read().splitlines())
+        if fragment.lower() not in anchor_cache[resolved]:
+            yield f"missing anchor: #{fragment} in {os.path.basename(resolved)}"
+
+
+def tracked_markdown_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        files = sorted(
+            f for f in set(out.split())
+            if os.path.basename(f) not in EXCLUDE
+        )
+        if files:
+            return files
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    found = []
+    for root, dirs, names in os.walk("."):
+        dirs[:] = [d for d in dirs if not d.startswith(".") and d != "build"]
+        found.extend(
+            os.path.join(root, n)
+            for n in names
+            if n.endswith(".md") and n not in EXCLUDE
+        )
+    return sorted(found)
+
+
+def main(argv):
+    files = argv[1:] or tracked_markdown_files()
+    if not files:
+        print("check_markdown: no markdown files found", file=sys.stderr)
+        return 1
+    anchor_cache = {}
+    failures = 0
+    for path in files:
+        for lineno, msg in check_file(path, anchor_cache):
+            print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+            failures += 1
+    print(
+        f"check_markdown: {len(files)} file(s), "
+        f"{failures} problem(s)", file=sys.stderr
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
