@@ -3,15 +3,62 @@
 // figure — a regression table for the whole protocol zoo (QLEC, the two
 // Fig. 3 comparators, and the Related-Work baselines LEACH/DEEC/HEED/
 // TL-LEACH, plus the no-clustering sanity baseline).
+//
+// With a scenario-file argument the two built-in operating points are
+// replaced by the file's sweep grid (src/config/), one table row per cell:
+//   ./build/bench/compare_all examples/scenarios/fig3_sweep.json
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "config/runner.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
-int main() {
+namespace {
+
+using namespace qlec;
+
+int run_scenario_table(const std::string& path, const ExecPolicy& exec) {
+  const auto text = read_text_file(path);
+  if (!text) {
+    std::fprintf(stderr, "compare_all: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  config::RunManifest manifest;
+  try {
+    const config::ScenarioFile scenario = config::parse_scenario(*text);
+    manifest = config::run_grid(config::expand_grid(scenario), exec);
+    manifest.name = scenario.name;
+  } catch (const config::ConfigError& e) {
+    std::fprintf(stderr, "compare_all: %s: %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  std::printf("=== %s (%zu cells) ===\n",
+              manifest.name.empty() ? path.c_str() : manifest.name.c_str(),
+              manifest.cells.size());
+  TextTable t({"cell", "protocol", "PDR", "energy (J)", "latency (slots)",
+               "heads/round", "lifespan FND"});
+  for (const config::CellResult& c : manifest.cells) {
+    const AggregatedMetrics& m = c.metrics;
+    t.add_row({c.label.empty() ? "(base)" : c.label, m.protocol,
+               fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
+               fmt_double(m.total_energy.mean(), 3),
+               fmt_double(m.mean_latency.mean(), 1),
+               fmt_double(m.heads_per_round.mean(), 1),
+               fmt_pm(m.first_death.mean(), m.first_death.ci95_halfwidth(),
+                      0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace qlec;
   const ExecPolicy exec = ExecPolicy::pool();
+  if (argc > 1) return run_scenario_table(argv[1], exec);
   for (const double lambda : {8.0, 2.0}) {
     std::printf("=== All protocols at lambda=%.0f (%s) ===\n", lambda,
                 lambda > 4.0 ? "idle" : "congested");

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
 
   ExperimentConfig cfg;
-  cfg.deployment = "terrain";
+  cfg.deployment = Deployment::kTerrain;
   cfg.scenario.n = 100;
   cfg.scenario.m_side = 200.0;
   // Batteries sized so the run reaches first-node-death within the

@@ -63,8 +63,14 @@ int main(int argc, char** argv) {
   cfg.sim.trace.stop_at_first_death = args.has("lifespan");
   cfg.seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
   cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-  cfg.deployment =
-      args.get_string("deployment", "uniform");
+  const std::string deployment = args.get_string("deployment", "uniform");
+  if (const auto d = deployment_from_name(deployment)) {
+    cfg.deployment = *d;
+  } else {
+    std::fprintf(stderr, "qlecsim: unknown deployment '%s' "
+                 "(expected uniform|terrain)\n", deployment.c_str());
+    return 2;
+  }
   cfg.protocol.k = static_cast<std::size_t>(args.get_int("k", 0));
   cfg.protocol.qlec.force_k = static_cast<int>(args.get_int("k", 0));
   cfg.protocol.qlec.total_rounds = cfg.sim.rounds;

@@ -1,0 +1,130 @@
+#include "config/runner.hpp"
+
+#include <cstdio>
+
+namespace qlec::config {
+namespace {
+
+void write_stat(JsonWriter& w, const char* name, const RunningStats& s) {
+  w.key(name);
+  w.begin_object();
+  w.key("mean"); w.value(s.mean());
+  w.key("ci95"); w.value(s.ci95_halfwidth());
+  w.key("count"); w.value(s.count());
+  w.end_object();
+}
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+RunManifest run_grid(const std::vector<SweepCell>& cells,
+                     const ExecPolicy& exec,
+                     void (*progress)(const SweepCell&, std::size_t,
+                                      std::size_t)) {
+  RunManifest m;
+  m.cells.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SweepCell& cell = cells[i];
+    if (progress != nullptr) progress(cell, i, cells.size());
+    CellResult r;
+    r.bindings = cell.bindings;
+    r.label = cell.label;
+    r.config = cell.config;
+    const std::vector<SimResult> runs =
+        run_replications(cell.config.protocol.name, cell.config, exec);
+    for (const SimResult& run : runs) {
+      r.metrics.add(run);
+      if (cell.config.sim.trace.record)
+        r.digests.push_back(trace_digest_hex(run.trace));
+    }
+    m.cells.push_back(std::move(r));
+  }
+  return m;
+}
+
+std::string manifest_to_json(const RunManifest& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name"); w.value(m.name);
+  w.key("description"); w.value(m.description);
+  w.key("cells");
+  w.begin_array();
+  for (const CellResult& c : m.cells) {
+    w.begin_object();
+    w.key("label"); w.value(c.label);
+    w.key("bindings");
+    w.begin_object();
+    for (const auto& [path, value] : c.bindings) {
+      w.key(path);
+      write_value(w, value);
+    }
+    w.end_object();
+    w.key("protocol"); w.value(c.metrics.protocol);
+    w.key("metrics");
+    w.begin_object();
+    write_stat(w, "pdr", c.metrics.pdr);
+    write_stat(w, "energy_j", c.metrics.total_energy);
+    write_stat(w, "first_death_round", c.metrics.first_death);
+    write_stat(w, "half_death_round", c.metrics.half_death);
+    write_stat(w, "latency_slots", c.metrics.mean_latency);
+    write_stat(w, "heads_per_round", c.metrics.heads_per_round);
+    write_stat(w, "generated", c.metrics.generated);
+    write_stat(w, "delivered", c.metrics.delivered);
+    w.end_object();
+    w.key("digests");
+    w.begin_array();
+    for (const std::string& d : c.digests) w.value(d);
+    w.end_array();
+    w.key("config");
+    write_experiment(w, c.config);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string manifest_to_csv(const RunManifest& m) {
+  std::string out =
+      "label,protocol,seeds,pdr,pdr_ci95,energy_j,energy_ci95,"
+      "latency_slots,first_death_round,half_death_round,heads_per_round,"
+      "generated,delivered\n";
+  char buf[256];
+  for (const CellResult& c : m.cells) {
+    out += csv_quote(c.label);
+    std::snprintf(buf, sizeof buf,
+                  ",%s,%zu,%.6f,%.6f,%.6f,%.6f,%.3f,%.1f,%.1f,%.3f,%.1f,"
+                  "%.1f\n",
+                  c.metrics.protocol.c_str(), c.metrics.pdr.count(),
+                  c.metrics.pdr.mean(), c.metrics.pdr.ci95_halfwidth(),
+                  c.metrics.total_energy.mean(),
+                  c.metrics.total_energy.ci95_halfwidth(),
+                  c.metrics.mean_latency.mean(), c.metrics.first_death.mean(),
+                  c.metrics.half_death.mean(),
+                  c.metrics.heads_per_round.mean(), c.metrics.generated.mean(),
+                  c.metrics.delivered.mean());
+    out += buf;
+  }
+  return out;
+}
+
+std::string manifest_digest_lines(const RunManifest& m) {
+  std::string out;
+  for (const CellResult& c : m.cells) {
+    out += "# " + (c.label.empty() ? std::string("(base)") : c.label) + "\n";
+    for (const std::string& d : c.digests) out += d + "\n";
+  }
+  return out;
+}
+
+}  // namespace qlec::config

@@ -1,0 +1,54 @@
+// Executes an expanded sweep grid and renders the run manifest: per-cell
+// aggregates as CSV, a BENCH-style JSON summary whose config echo is the
+// fully-resolved document (re-parses to the identical grid), and optional
+// per-seed trace digests for golden comparisons.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/sweep.hpp"
+#include "sim/experiment.hpp"
+
+namespace qlec::config {
+
+/// Outcome of one grid cell: the cell identity plus cross-seed aggregates.
+struct CellResult {
+  std::vector<Override> bindings;  ///< the axis assignments (sweep order)
+  std::string label;               ///< "" for a no-sweep run
+  ExperimentConfig config;         ///< fully resolved (echoed in manifests)
+  AggregatedMetrics metrics;
+  /// Per-seed trace digests (16 hex digits each) when the cell ran with
+  /// sim.trace.record; empty otherwise.
+  std::vector<std::string> digests;
+};
+
+struct RunManifest {
+  std::string name;
+  std::string description;
+  std::vector<CellResult> cells;
+};
+
+/// Runs every cell (protocol = cell.config.protocol.name) under `exec`.
+/// Replication fan-out is per cell, so any ExecPolicy reproduces the serial
+/// results bit-identically. `progress` (may be null) is invoked with each
+/// cell's label before it runs.
+RunManifest run_grid(const std::vector<SweepCell>& cells,
+                     const ExecPolicy& exec = ExecPolicy::serial(),
+                     void (*progress)(const SweepCell&, std::size_t index,
+                                      std::size_t total) = nullptr);
+
+/// BENCH-style JSON: {name, description, cells:[{label, bindings, config,
+/// metrics{...mean/ci95 pairs}, digests}]}. The config echo is emitted with
+/// write_experiment, so parsing it back yields cell.config exactly.
+std::string manifest_to_json(const RunManifest& m);
+
+/// One header + one row per cell: label columns, then mean metrics.
+std::string manifest_to_csv(const RunManifest& m);
+
+/// All digests in golden-file order (cell-major, seed-minor), one per line,
+/// with a leading comment naming each cell — the format
+/// `qlec_run --digest --out` writes and `--expect-digests` reads.
+std::string manifest_digest_lines(const RunManifest& m);
+
+}  // namespace qlec::config

@@ -1,0 +1,140 @@
+#include "config/sweep.hpp"
+
+#include <cstddef>
+#include <optional>
+
+namespace qlec::config {
+namespace {
+
+/// A grid this large is almost certainly an authoring mistake (e.g. a
+/// 20-value axis pasted five times); fail before spawning hours of work.
+constexpr std::size_t kMaxCells = 10000;
+
+/// Splits "a.b.c" into {"a","b","c"}; empty segments are malformed.
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = path.find('.', start);
+    parts.push_back(path.substr(start, dot - start));
+    if (parts.back().empty())
+      throw ConfigError(path, "malformed sweep path (empty segment)");
+    if (dot == std::string::npos) return parts;
+    start = dot + 1;
+  }
+}
+
+JsonValue set_in(const JsonValue& node, const std::string& full_path,
+                 const std::vector<std::string>& parts, std::size_t depth,
+                 const JsonValue& leaf) {
+  if (depth == parts.size()) return leaf;
+  if (!node.is_object() && !node.is_null()) {
+    std::string prefix = parts[0];
+    for (std::size_t i = 1; i < depth; ++i) prefix += "." + parts[i];
+    throw ConfigError(full_path,
+                      "path traverses non-object value at " + prefix);
+  }
+  std::vector<std::pair<std::string, JsonValue>> members =
+      node.is_object() ? node.members()
+                       : std::vector<std::pair<std::string, JsonValue>>{};
+  for (auto& [k, v] : members) {
+    if (k == parts[depth]) {
+      v = set_in(v, full_path, parts, depth + 1, leaf);
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+  members.emplace_back(
+      parts[depth],
+      set_in(JsonValue::make_null(), full_path, parts, depth + 1, leaf));
+  return JsonValue::make_object(std::move(members));
+}
+
+}  // namespace
+
+JsonValue with_path_set(const JsonValue& doc, const std::string& path,
+                        const JsonValue& leaf) {
+  return set_in(doc, path, split_path(path), 0, leaf);
+}
+
+std::string leaf_label(const JsonValue& v) {
+  return v.is_string() ? v.as_string() : dump_json(v);
+}
+
+ScenarioFile parse_scenario(const std::string& text) {
+  std::string error;
+  const std::optional<JsonValue> doc = parse_json(text, &error);
+  if (!doc) throw ConfigError("", "malformed JSON: " + error);
+  if (!doc->is_object())
+    throw ConfigError("", "scenario file must be a JSON object");
+
+  ScenarioFile out;
+  std::vector<std::pair<std::string, JsonValue>> base_members;
+  for (const auto& [key, value] : doc->members()) {
+    if (key == "name" || key == "description") {
+      if (!value.is_string())
+        throw ConfigError(key, "expected string, got " +
+                                   dump_json(value).substr(0, 40));
+      (key == "name" ? out.name : out.description) = value.as_string();
+    } else if (key == "sweep") {
+      if (!value.is_object())
+        throw ConfigError("sweep", "expected object of path -> value-array");
+      for (const auto& [path, values] : value.members()) {
+        if (!values.is_array() || values.size() == 0)
+          throw ConfigError("sweep." + path,
+                            "expected non-empty array of axis values");
+        split_path(path);  // reject malformed axis paths up front
+        out.axes.push_back({path, values.items()});
+      }
+    } else {
+      base_members.emplace_back(key, value);
+    }
+  }
+  out.base = JsonValue::make_object(std::move(base_members));
+  return out;
+}
+
+std::vector<SweepCell> expand_grid(const ScenarioFile& scenario,
+                                   const std::vector<Override>& overrides) {
+  // --set lands on the base first, and pins any axis it names exactly.
+  JsonValue base = scenario.base;
+  std::vector<SweepAxis> axes = scenario.axes;
+  for (const auto& [path, value] : overrides) {
+    base = with_path_set(base, path, value);
+    std::erase_if(axes, [&p = path](const SweepAxis& a) {
+      return a.path == p;
+    });
+  }
+
+  std::size_t total = 1;
+  for (const SweepAxis& a : axes) {
+    if (a.values.size() > kMaxCells / total)
+      throw ConfigError("sweep", "grid exceeds " +
+                                     std::to_string(kMaxCells) + " cells");
+    total *= a.values.size();
+  }
+
+  std::vector<SweepCell> cells;
+  cells.reserve(total);
+  std::vector<std::size_t> idx(axes.size(), 0);
+  for (std::size_t cell = 0; cell < total; ++cell) {
+    SweepCell c;
+    JsonValue doc = base;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const JsonValue& v = axes[a].values[idx[a]];
+      doc = with_path_set(doc, axes[a].path, v);
+      c.bindings.emplace_back(axes[a].path, v);
+      if (!c.label.empty()) c.label += ' ';
+      c.label += axes[a].path + "=" + leaf_label(v);
+    }
+    c.config = experiment_from_json(doc);
+    cells.push_back(std::move(c));
+    // Odometer increment, last axis fastest.
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      if (++idx[a] < axes[a].values.size()) break;
+      idx[a] = 0;
+    }
+  }
+  return cells;
+}
+
+}  // namespace qlec::config

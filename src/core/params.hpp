@@ -63,6 +63,8 @@ struct QlecParams {
   /// Override the computed k_opt when > 0 (used by the k-sweep ablation and
   /// the Fig. 4 run, which pins k = 272 to match the paper).
   int force_k = 0;
+
+  friend bool operator==(const QlecParams&, const QlecParams&) = default;
 };
 
 }  // namespace qlec

@@ -22,6 +22,8 @@ struct RadioParams {
   /// Crossover distance d0 = sqrt(eps_fs / eps_mp) between the free-space
   /// (d^2) and multi-path (d^4) amplifier regimes (~87.7 m for Table 2).
   double d0() const noexcept;
+
+  friend bool operator==(const RadioParams&, const RadioParams&) = default;
 };
 
 class RadioModel {

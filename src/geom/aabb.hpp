@@ -34,6 +34,8 @@ struct Aabb {
     lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
     hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
   }
+
+  friend bool operator==(const Aabb&, const Aabb&) = default;
 };
 
 }  // namespace qlec

@@ -29,6 +29,8 @@ struct LinkModel {
   /// One Bernoulli transmission attempt over distance d.
   bool attempt(double d, Rng& rng) const noexcept;
   bool attempt_bs(double d, Rng& rng) const noexcept;
+
+  friend bool operator==(const LinkModel&, const LinkModel&) = default;
 };
 
 /// Sliding-window per-link success estimator. Keyed by (from, to) node ids;

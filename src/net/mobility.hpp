@@ -24,6 +24,9 @@ struct MobilityConfig {
   double speed = 5.0;
   /// Waypoint arrival tolerance, meters.
   double arrival_tolerance = 1.0;
+
+  friend bool operator==(const MobilityConfig&, const MobilityConfig&) =
+      default;
 };
 
 /// Stateful mover; owns per-node waypoints. One instance per simulation.

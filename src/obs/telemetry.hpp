@@ -44,6 +44,9 @@ struct TelemetryOptions {
 
   /// End-of-run MetricsRegistry JSON output path ("" = don't write).
   std::string metrics_path;
+
+  friend bool operator==(const TelemetryOptions&, const TelemetryOptions&) =
+      default;
 };
 
 /// Owns the instruments for one simulation run. Single-threaded by design:

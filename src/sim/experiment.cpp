@@ -1,16 +1,14 @@
 #include "sim/experiment.hpp"
 
-#include <stdexcept>
-
 namespace qlec {
 
 Network build_network(const ExperimentConfig& cfg, std::uint64_t seed) {
   Rng rng(seed);
-  if (cfg.deployment == "uniform")
-    return make_uniform_network(cfg.scenario, rng);
-  if (cfg.deployment == "terrain")
-    return make_terrain_network(cfg.scenario, rng);
-  throw std::invalid_argument("unknown deployment: " + cfg.deployment);
+  switch (cfg.deployment) {
+    case Deployment::kTerrain: return make_terrain_network(cfg.scenario, rng);
+    case Deployment::kUniform: break;
+  }
+  return make_uniform_network(cfg.scenario, rng);
 }
 
 std::vector<SimResult> run_replications(const std::string& protocol_name,

@@ -22,8 +22,12 @@ struct ExperimentConfig {
   ProtocolOptions protocol;
   std::size_t seeds = 5;
   std::uint64_t base_seed = 42;
-  /// "uniform" (default) or "terrain" deployment.
-  std::string deployment = "uniform";
+  /// Deployment geometry (a closed enum — unknown deployments are a config
+  /// parse error, never a mid-run exception).
+  Deployment deployment = Deployment::kUniform;
+
+  friend bool operator==(const ExperimentConfig&, const ExperimentConfig&) =
+      default;
 };
 
 /// How the runner fans replications out over seeds. A small value type so

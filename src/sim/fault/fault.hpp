@@ -60,12 +60,16 @@ struct FaultEvent {
                           ///< removed in [0,1]
   bool permanent = false; ///< kBlackout: crash (true) vs stun (false)
   Aabb region{};          ///< kBlackout: the affected volume
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
 /// A deterministic schedule of fault events. Events may be listed in any
 /// order; same-round events apply in list order.
 struct FaultPlan {
   std::vector<FaultEvent> events;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
 /// Per-round stochastic failure rates, all sampled from the fault stream.
@@ -87,6 +91,8 @@ struct FaultHazards {
     return crash_per_node > 0.0 || stun_per_node > 0.0 ||
            fade_per_node > 0.0 || degrade_episode > 0.0 || bs_outage > 0.0;
   }
+
+  friend bool operator==(const FaultHazards&, const FaultHazards&) = default;
 };
 
 struct FaultConfig {
@@ -98,6 +104,8 @@ struct FaultConfig {
   std::uint64_t seed = 0;
   FaultPlan plan;
   FaultHazards hazards;
+
+  friend bool operator==(const FaultConfig&, const FaultConfig&) = default;
 };
 
 /// Why a node is currently down (kNone while operational).

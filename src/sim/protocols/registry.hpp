@@ -19,6 +19,14 @@ struct ProtocolOptions {
   double death_line = 0.0;
   double hello_bits = 200.0;
   RadioParams radio;
+  /// Registry name of the protocol a declarative scenario runs (see
+  /// src/config/): `qlec_run` passes `cfg.protocol.name` to make_protocol,
+  /// and a sweep may vary it ("protocol.name": ["qlec", "fcm", ...]).
+  /// Call sites that already name the protocol explicitly ignore it.
+  std::string name = "qlec";
+
+  friend bool operator==(const ProtocolOptions&, const ProtocolOptions&) =
+      default;
 };
 
 /// Builds the named protocol configured against `net`. Unknown names throw

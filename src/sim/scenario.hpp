@@ -3,11 +3,27 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "net/network.hpp"
 #include "util/rng.hpp"
 
 namespace qlec {
+
+/// Deployment geometry for an experiment. A closed enum (rather than a
+/// free-form string) so the config layer can reject unknown deployments at
+/// parse time with a path-qualified error instead of mid-run.
+enum class Deployment {
+  kUniform,  ///< uniform random placement in the cube (the paper's setting)
+  kTerrain,  ///< ridged height-field placement (mountain scenarios)
+};
+
+/// Canonical token ("uniform" / "terrain") — the config-file spelling.
+const char* deployment_name(Deployment d) noexcept;
+
+/// Inverse of deployment_name; nullopt for unknown tokens.
+std::optional<Deployment> deployment_from_name(std::string_view name) noexcept;
 
 /// Where the sink sits relative to the M x M x M cube. The paper's §5.1
 /// (k_opt ≈ 5 for N = 100, M = 200) is consistent with a sink on the cube
@@ -30,6 +46,9 @@ struct ScenarioConfig {
   /// initial_energy * (1 + U(-h, +h)). 0 = homogeneous (paper §5.1).
   double energy_heterogeneity = 0.0;
   BsPlacement bs = BsPlacement::kTopFaceCenter;
+
+  friend bool operator==(const ScenarioConfig&, const ScenarioConfig&) =
+      default;
 };
 
 /// Uniform random deployment in the cube (the paper's setting).

@@ -38,6 +38,8 @@ struct AuditOptions {
   /// Throw AuditError on the first violation instead of accumulating them
   /// into the report.
   bool throw_on_violation = false;
+
+  friend bool operator==(const AuditOptions&, const AuditOptions&) = default;
 };
 
 /// Trajectory-recording and early-stop switches.
@@ -46,6 +48,8 @@ struct TraceOptions {
   bool record = false;
   /// Stop simulating once the first node dies (lifespan experiments).
   bool stop_at_first_death = false;
+
+  friend bool operator==(const TraceOptions&, const TraceOptions&) = default;
 };
 
 struct SimConfig {
@@ -86,6 +90,8 @@ struct SimConfig {
   /// so traces and golden digests stay bit-identical either way. See
   /// OBSERVABILITY.md.
   obs::TelemetryOptions telemetry;
+
+  friend bool operator==(const SimConfig&, const SimConfig&) = default;
 };
 
 /// Runs the full simulation, mutating `net` (battery drain, head flags).

@@ -26,26 +26,34 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     const std::string body = token.substr(2);
     const std::size_t eq = body.find('=');
     if (eq != std::string::npos) {
-      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      options_.emplace_back(body.substr(0, eq), body.substr(eq + 1));
       continue;
     }
     // --key value (value = next token unless it is another option).
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      options_[body] = argv[++i];
+      options_.emplace_back(body, argv[++i]);
     } else {
-      options_[body] = "true";
+      options_.emplace_back(body, "true");
     }
   }
 }
 
 bool CliArgs::has(const std::string& key) const {
-  return options_.count(key) > 0;
+  return get(key).has_value();
 }
 
 std::optional<std::string> CliArgs::get(const std::string& key) const {
-  const auto it = options_.find(key);
-  if (it == options_.end()) return std::nullopt;
-  return it->second;
+  std::optional<std::string> out;
+  for (const auto& [k, v] : options_)
+    if (k == key) out = v;
+  return out;
+}
+
+std::vector<std::string> CliArgs::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : options_)
+    if (k == key) out.push_back(v);
+  return out;
 }
 
 std::string CliArgs::get_string(const std::string& key,

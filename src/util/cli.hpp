@@ -3,9 +3,9 @@
 // auto-generated usage string.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qlec {
@@ -20,7 +20,12 @@ class CliArgs {
 
   bool has(const std::string& key) const;
 
+  /// Last occurrence of `key` (repeated options overwrite for the scalar
+  /// getters), or nullopt when absent.
   std::optional<std::string> get(const std::string& key) const;
+  /// Every occurrence of `key`, in command-line order — for repeatable
+  /// options like `--set a=1 --set b=2`.
+  std::vector<std::string> get_all(const std::string& key) const;
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;
   /// Numeric getters return the fallback on missing OR unparseable values
@@ -36,7 +41,8 @@ class CliArgs {
   const std::vector<std::string>& errors() const noexcept { return errors_; }
 
  private:
-  std::map<std::string, std::string> options_;
+  /// Every --key occurrence in order (repeats preserved for get_all).
+  std::vector<std::pair<std::string, std::string>> options_;
   std::vector<std::string> positional_;
   mutable std::vector<std::string> errors_;
 };

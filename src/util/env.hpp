@@ -11,6 +11,8 @@
 //                            speedup reporting
 //   QLEC_FAULT_INTENSITY=<x> extra multiplier (> 0, default 1) on every
 //                            hazard rate in the resilience sweep
+//   QLEC_RUN_JOBS=<n>        qlec_run seed fan-out width (0/unset = serial;
+//                            --jobs/--serial override)
 //   QLEC_TELEMETRY=1         enable the obs/ telemetry layer (ring sink)
 //   QLEC_TELEMETRY_EVENTS=<p>  write JSONL events to <p> (implies enabled)
 //   QLEC_TELEMETRY_TRACE=<p>   write a Chrome trace_event JSON to <p>
@@ -85,6 +87,12 @@ inline std::string telemetry_metrics() { return str("QLEC_TELEMETRY_METRICS"); }
 
 /// QLEC_TELEMETRY_VERBOSE: per-packet events (retry, q_update) too.
 inline bool telemetry_verbose() { return flag("QLEC_TELEMETRY_VERBOSE"); }
+
+/// QLEC_RUN_JOBS: default worker count for qlec_run's ExecPolicy (0 =
+/// serial, the safe default; explicit --jobs/--serial flags win).
+inline std::size_t run_jobs() {
+  return static_cast<std::size_t>(positive_int("QLEC_RUN_JOBS", 0));
+}
 
 /// QLEC_FAULT_INTENSITY: multiplier applied to every hazard rate in the
 /// resilience sweep (default 1; unset/unparsable/non-positive -> fallback).

@@ -459,4 +459,82 @@ std::optional<JsonValue> parse_json(const std::string& text,
   return JsonParser(text, error).parse();
 }
 
+// ---- Serializer ----
+
+namespace {
+
+void dump_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN (mirrors JsonWriter::value(double))
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void dump_value(std::string& out, const JsonValue& v, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: dump_number(out, v.as_double()); break;
+    case JsonValue::Kind::kString:
+      out += '"' + JsonWriter::escape(v.as_string()) + '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      if (v.items().empty()) {
+        out += "[]";
+        break;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        dump_value(out, item, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.members().empty()) {
+        out += "{}";
+        break;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) out.push_back(',');
+        first = false;
+        newline(depth + 1);
+        out += '"' + JsonWriter::escape(key) + "\":";
+        if (indent > 0) out.push_back(' ');
+        dump_value(out, member, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump_json(const JsonValue& v, int indent) {
+  std::string out;
+  dump_value(out, v, indent, 0);
+  return out;
+}
+
+void write_value(JsonWriter& w, const JsonValue& v) {
+  w.raw_value(dump_json(v));
+}
+
 }  // namespace qlec

@@ -117,4 +117,15 @@ class JsonValue {
 std::optional<JsonValue> parse_json(const std::string& text,
                                     std::string* error = nullptr);
 
+/// Serializes a JsonValue tree back to compact JSON text — the inverse of
+/// parse_json (member order preserved; doubles via the writer's %.17g, so
+/// parse_json(dump_json(v)) reproduces `v` exactly). `indent` > 0 switches
+/// to a pretty-printed form with that many spaces per nesting level.
+std::string dump_json(const JsonValue& v, int indent = 0);
+
+/// Appends `v` as the next value of `w` (inside whatever container is
+/// open). Lets callers splice a parsed document into a larger handwritten
+/// stream, e.g. echoing a resolved config into a run manifest.
+void write_value(JsonWriter& w, const JsonValue& v);
+
 }  // namespace qlec

@@ -1,0 +1,130 @@
+// Golden integration tests for the committed scenario files: the
+// declarative path (scenario JSON -> expand -> run) must reproduce the
+// exact digests the code-driven golden harness committed, and the Fig. 3
+// sweep file must expand to the documented grid. The ctest targets
+// qlec_run.golden_paper51 / qlec_run.dry_run_grid cover the same ground
+// through the real binary.
+//
+// Regenerate tests/golden/paper_51.qlec.digest after an intentional model
+// change with  QLEC_REGEN_GOLDEN=1 ctest -R CliGolden  (the per-protocol
+// digests are owned by tests/sim/test_golden_traces.cpp).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "config/runner.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+namespace qlec::config {
+namespace {
+
+#ifndef QLEC_SCENARIO_DIR
+#error "QLEC_SCENARIO_DIR must point at examples/scenarios"
+#endif
+#ifndef QLEC_GOLDEN_DIR
+#error "QLEC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string scenario_text(const std::string& file) {
+  const auto text =
+      read_text_file(std::string(QLEC_SCENARIO_DIR) + "/" + file);
+  EXPECT_TRUE(text.has_value()) << "missing scenario " << file;
+  return text.value_or("{}");
+}
+
+std::vector<std::string> read_digest_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty() && line[0] != '#') lines.push_back(line);
+  return lines;
+}
+
+TEST(CliGolden, GoldenReplayScenarioMatchesPerProtocolDigests) {
+  // The file-driven run of the frozen golden scenario must equal the
+  // code-driven digests committed by tests/sim/test_golden_traces.cpp —
+  // proving config parsing changes nothing about the simulation.
+  const auto cells =
+      expand_grid(parse_scenario(scenario_text("golden_replay.json")));
+  ASSERT_EQ(cells.size(), 10u);  // one per registry protocol
+  const RunManifest m = run_grid(cells);
+  for (const CellResult& c : m.cells) {
+    const std::string protocol = c.config.protocol.name;
+    const std::vector<std::string> golden = read_digest_lines(
+        std::string(QLEC_GOLDEN_DIR) + "/" + protocol + ".digest");
+    ASSERT_FALSE(golden.empty()) << protocol;
+    EXPECT_EQ(c.digests, golden)
+        << protocol << ": scenario-file run diverged from the committed "
+        << "golden digest — the config layer altered the simulation.";
+  }
+}
+
+TEST(CliGolden, Paper51MatchesCommittedDigest) {
+  const std::string golden_path =
+      std::string(QLEC_GOLDEN_DIR) + "/paper_51.qlec.digest";
+  auto cells = expand_grid(parse_scenario(scenario_text("paper_51.json")));
+  ASSERT_EQ(cells.size(), 1u);
+  // The CLI's --digest switch: recording traces is observational.
+  cells[0].config.sim.trace.record = true;
+  const RunManifest m = run_grid(cells);
+  ASSERT_EQ(m.cells.size(), 1u);
+  ASSERT_EQ(m.cells[0].digests.size(), cells[0].config.seeds);
+
+  if (env::regen_golden()) {
+    std::ofstream out(golden_path);
+    out << "# (base)\n";
+    for (const std::string& d : m.cells[0].digests) out << d << "\n";
+    return;
+  }
+  const std::vector<std::string> golden = read_digest_lines(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing " << golden_path
+      << " — run with QLEC_REGEN_GOLDEN=1 to (re)generate";
+  EXPECT_EQ(m.cells[0].digests, golden)
+      << "paper_51 scenario diverged from its committed digest. If the "
+      << "model change is intentional, regenerate with QLEC_REGEN_GOLDEN=1 "
+      << "and commit tests/golden/paper_51.qlec.digest.";
+}
+
+TEST(CliGolden, Fig3SweepExpandsToDocumentedGrid) {
+  // The --dry-run grid-shape contract for the committed sweep file.
+  const auto cells =
+      expand_grid(parse_scenario(scenario_text("fig3_sweep.json")));
+  ASSERT_EQ(cells.size(), 9u);
+  const std::vector<std::string> protocols = {"qlec", "fcm", "kmeans"};
+  const std::vector<double> lambdas = {2.0, 4.0, 8.0};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].config.protocol.name, protocols[i / 3]) << i;
+    EXPECT_DOUBLE_EQ(cells[i].config.sim.mean_interarrival, lambdas[i % 3])
+        << i;
+    EXPECT_EQ(cells[i].config.scenario.n, 100u);
+    EXPECT_EQ(cells[i].config.seeds, 3u);
+  }
+}
+
+TEST(CliGolden, AllCommittedScenariosParseAndExpand) {
+  for (const char* file : {"paper_51.json", "golden_replay.json",
+                           "fig3_sweep.json", "resilience.json"}) {
+    std::vector<SweepCell> cells;
+    ASSERT_NO_THROW(cells = expand_grid(parse_scenario(scenario_text(file))))
+        << file;
+    EXPECT_FALSE(cells.empty()) << file;
+  }
+}
+
+TEST(CliGolden, ResilienceScenarioCarriesFaultBlock) {
+  const auto cells =
+      expand_grid(parse_scenario(scenario_text("resilience.json")));
+  ASSERT_EQ(cells.size(), 3u);
+  for (const SweepCell& c : cells) {
+    EXPECT_TRUE(c.config.sim.fault.enabled);
+    EXPECT_DOUBLE_EQ(c.config.sim.fault.hazards.crash_per_node, 0.004);
+    EXPECT_EQ(c.config.sim.fault.seed, 0xFA17u);
+  }
+}
+
+}  // namespace
+}  // namespace qlec::config

@@ -1,0 +1,208 @@
+// Adversarial battery for the schema binding: every rejection must be a
+// ConfigError whose path() names the exact offending node and whose what()
+// reads "<path>: <problem>". Covers malformed documents, wrong-typed
+// leaves, duplicate keys, unknown keys, NaN/Inf smuggling, depth-cap
+// nesting, out-of-domain values, and a deterministic mutation fuzzer over
+// a valid document.
+#include "config/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace qlec::config {
+namespace {
+
+/// Asserts `text` is rejected and the error anchors at `path` with a
+/// message containing `fragment`.
+void expect_rejected(const std::string& text, const std::string& path,
+                     const std::string& fragment = "") {
+  try {
+    parse_experiment(text);
+    FAIL() << "accepted: " << text;
+  } catch (const ConfigError& e) {
+    EXPECT_EQ(e.path(), path) << text << "\n  what(): " << e.what();
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "what() = \"" << e.what() << "\" lacks \"" << fragment << '"';
+    if (!path.empty()) {
+      EXPECT_EQ(std::string(e.what()).rfind(path + ": ", 0), 0u)
+          << "what() must start with the path: " << e.what();
+    }
+  }
+}
+
+TEST(ConfigErrors, MalformedJsonIsConfigError) {
+  expect_rejected("", "", "malformed JSON");
+  expect_rejected("{", "", "malformed JSON");
+  expect_rejected("{\"scenario\": }", "", "malformed JSON");
+  expect_rejected("{} trailing", "", "malformed JSON");
+  expect_rejected("'single quotes'", "", "malformed JSON");
+}
+
+TEST(ConfigErrors, RootMustBeObject) {
+  expect_rejected("[]", "", "expected object, got array");
+  expect_rejected("42", "", "expected object, got 42");
+  expect_rejected("null", "", "expected object, got null");
+  expect_rejected("\"qlec\"", "", "expected object");
+}
+
+TEST(ConfigErrors, WrongTypedLeaves) {
+  expect_rejected(R"({"scenario": {"n": "many"}})", "scenario.n",
+                  "expected integer ≥ 1, got \"many\"");
+  expect_rejected(R"({"scenario": {"n": 2.5}})", "scenario.n",
+                  "expected integer");
+  expect_rejected(R"({"sim": {"rounds": true}})", "sim.rounds",
+                  "expected integer ≥ 1, got true");
+  expect_rejected(R"({"sim": {"trace": {"record": "yes"}}})",
+                  "sim.trace.record", "expected true or false, got \"yes\"");
+  expect_rejected(R"({"sim": {"telemetry": {"events_path": 3}}})",
+                  "sim.telemetry.events_path", "expected string, got 3");
+  expect_rejected(R"({"scenario": 7})", "scenario", "expected object, got 7");
+  expect_rejected(R"({"sim": {"radio": []}})", "sim.radio",
+                  "expected object, got array");
+}
+
+TEST(ConfigErrors, OutOfDomainNumbers) {
+  expect_rejected(R"({"scenario": {"n": 0}})", "scenario.n", "≥ 1");
+  expect_rejected(R"({"scenario": {"m_side": 0}})", "scenario.m_side",
+                  "number > 0, got 0");
+  expect_rejected(R"({"scenario": {"energy_heterogeneity": 1.5}})",
+                  "scenario.energy_heterogeneity",
+                  "expected number in [0, 1], got 1.5");
+  expect_rejected(R"({"sim": {"compression": -0.1}})", "sim.compression",
+                  "in [0, 1]");
+  expect_rejected(
+      R"({"sim": {"fault": {"hazards": {"crash_per_node": "high"}}}})",
+      "sim.fault.hazards.crash_per_node",
+      "expected number in [0, 1], got \"high\"");
+  expect_rejected(R"({"sim": {"radio": {"eps_mp": 0}}})", "sim.radio.eps_mp",
+                  "number > 0");
+  expect_rejected(R"({"seeds": 0})", "seeds", "≥ 1");
+  expect_rejected(R"({"base_seed": -1})", "base_seed", "≥ 0");
+}
+
+TEST(ConfigErrors, IntegersBeyondExactDoubleRangeRejected) {
+  // 2^53 + 2 is representable as a double but not an exact odd integer
+  // neighborhood; anything above the exact window is refused outright.
+  expect_rejected(R"({"base_seed": 9007199254740994})", "base_seed",
+                  "expected integer");
+  expect_rejected(R"({"base_seed": 1e300})", "base_seed", "expected integer");
+}
+
+TEST(ConfigErrors, NanAndInfRejected) {
+  // Bare tokens are malformed JSON at the parser layer...
+  expect_rejected(R"({"sim": {"death_line": NaN}})", "", "malformed JSON");
+  expect_rejected(R"({"sim": {"death_line": Infinity}})", "",
+                  "malformed JSON");
+  // ...and overflow-to-inf literals die at the binding layer.
+  expect_rejected(R"({"sim": {"death_line": 1e999}})", "sim.death_line",
+                  "finite number");
+  expect_rejected(R"({"sim": {"death_line": -1e999}})", "sim.death_line",
+                  "finite number");
+}
+
+TEST(ConfigErrors, UnknownKeysRejectedAtEveryLevel) {
+  expect_rejected(R"({"scenariox": {}})", "scenariox", "unknown key");
+  expect_rejected(R"({"scenario": {"nn": 5}})", "scenario.nn", "unknown key");
+  expect_rejected(R"({"sim": {"fault": {"hazard": {}}}})", "sim.fault.hazard",
+                  "unknown key");
+  expect_rejected(R"({"protocol": {"qlec": {"gama": 0.9}}})",
+                  "protocol.qlec.gama", "unknown key");
+  expect_rejected(R"({"sim": {"telemetry": {"sinks": "ring"}}})",
+                  "sim.telemetry.sinks", "unknown key");
+}
+
+TEST(ConfigErrors, DuplicateKeysRejected) {
+  expect_rejected(R"({"seeds": 1, "seeds": 2})", "seeds", "duplicate key");
+  expect_rejected(R"({"scenario": {"n": 5, "n": 6}})", "scenario.n",
+                  "duplicate key");
+  expect_rejected(
+      R"({"sim": {"audit": {"enabled": true, "enabled": true}}})",
+      "sim.audit.enabled", "duplicate key");
+}
+
+TEST(ConfigErrors, EnumTokensValidated) {
+  expect_rejected(R"({"scenario": {"bs": "middle"}})", "scenario.bs",
+                  "expected one of center|top_face_center|corner|external, "
+                  "got \"middle\"");
+  expect_rejected(R"({"sim": {"aggregation": "zip"}})", "sim.aggregation",
+                  "ratio_compress|fixed_summary");
+  expect_rejected(R"({"sim": {"mobility": {"kind": 3}}})",
+                  "sim.mobility.kind", "none|random_walk|random_waypoint");
+  expect_rejected(R"({"deployment": "underwater"}      )", "deployment",
+                  "uniform|terrain");
+  expect_rejected(R"({"protocol": {"name": "aodv"}})", "protocol.name",
+                  "got \"aodv\"");
+  expect_rejected(R"({"sim": {"fault": {"plan": {"events":
+      [{"kind": "meteor"}]}}}})",
+                  "sim.fault.plan.events[0].kind", "crash|");
+}
+
+TEST(ConfigErrors, ArrayElementPathsAreIndexed) {
+  expect_rejected(R"({"sim": {"fault": {"plan": {"events":
+      [{"round": 1}, {"severity": 2}]}}}})",
+                  "sim.fault.plan.events[1].severity", "in [0, 1]");
+  expect_rejected(R"({"sim": {"fault": {"plan": {"events": {}}}}})",
+                  "sim.fault.plan.events", "expected array, got object");
+  expect_rejected(
+      R"({"sim": {"fault": {"plan": {"events": [{"region":
+      {"lo": [1, 2]}}]}}}})",
+      "sim.fault.plan.events[0].region.lo", "[x, y, z]");
+}
+
+TEST(ConfigErrors, DepthCapNesting) {
+  // The JSON parser caps nesting at 128 levels; a hostile document dies
+  // there as malformed input, not by overflowing the binder's stack.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "{\"sim\":";
+  deep += "null";
+  for (int i = 0; i < 200; ++i) deep += "}";
+  expect_rejected(deep, "", "malformed JSON");
+}
+
+TEST(ConfigErrors, MutationFuzzValidDocumentNeverCrashes) {
+  // Deterministic byte-level fuzz: mutate a valid document and require that
+  // parse_experiment either succeeds or throws ConfigError — never anything
+  // else, never a crash.
+  const std::string base = experiment_to_json(ExperimentConfig{});
+  Rng rng(0xF002);
+  int rejected = 0, accepted = 0;
+  for (int i = 0; i < 600; ++i) {
+    std::string doc = base;
+    const int edits = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{3}));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.uniform_int(std::uint64_t{doc.size()});
+      switch (rng.uniform_int(std::uint64_t{3})) {
+        case 0: doc[pos] = static_cast<char>(rng.uniform_int(
+                    std::int64_t{32}, 126)); break;
+        case 1: doc.erase(pos, 1); break;
+        default: doc.insert(pos, 1, static_cast<char>(rng.uniform_int(
+                     std::int64_t{32}, 126)));
+      }
+    }
+    try {
+      (void)parse_experiment(doc);
+      ++accepted;
+    } catch (const ConfigError&) {
+      ++rejected;
+    }
+  }
+  // The overwhelming majority of random mutations must be caught.
+  EXPECT_GT(rejected, 400) << "accepted " << accepted << " mutants";
+}
+
+TEST(ConfigErrors, WhatIsPathColonProblem) {
+  const ConfigError e("sim.fault.hazards.crash_per_node",
+                      "expected number ≥ 0, got \"high\"");
+  EXPECT_EQ(e.path(), "sim.fault.hazards.crash_per_node");
+  EXPECT_STREQ(e.what(),
+               "sim.fault.hazards.crash_per_node: expected number ≥ 0, "
+               "got \"high\"");
+  const ConfigError root("", "malformed JSON: oops");
+  EXPECT_STREQ(root.what(), "malformed JSON: oops");
+}
+
+}  // namespace
+}  // namespace qlec::config

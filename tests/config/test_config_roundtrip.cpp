@@ -1,0 +1,247 @@
+// Property battery for the schema binding: serialize -> parse must be the
+// identity over the representable config space. 200+ randomized
+// ExperimentConfigs (seeded Rng, every enum corner, nested fault plans and
+// telemetry blocks) plus targeted corners the fuzzer would only hit by
+// luck.
+#include "config/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qlec::config {
+namespace {
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> values) {
+  auto it = values.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(
+                       rng.uniform_int(std::uint64_t{values.size()})));
+  return *it;
+}
+
+FaultEvent random_event(Rng& rng) {
+  FaultEvent e;
+  e.kind = pick(rng, {FaultKind::kCrash, FaultKind::kStun,
+                      FaultKind::kBlackout, FaultKind::kLinkDegrade,
+                      FaultKind::kBsOutage, FaultKind::kBatteryFade});
+  e.round = static_cast<int>(rng.uniform_int(std::uint64_t{50}));
+  e.node = static_cast<int>(rng.uniform_int(std::int64_t{-1}, 99));
+  e.duration = static_cast<int>(rng.uniform_int(std::uint64_t{10}));
+  e.severity = rng.uniform01();
+  e.permanent = rng.bernoulli(0.5);
+  e.region = Aabb{{rng.uniform(0, 50), rng.uniform(0, 50), 0.0},
+                  {rng.uniform(50, 200), rng.uniform(50, 200), 200.0}};
+  return e;
+}
+
+/// Every field gets a randomized (but in-domain) value so a field the
+/// writer or reader skips cannot hide behind its default.
+ExperimentConfig random_config(Rng& rng) {
+  ExperimentConfig c;
+  c.scenario.n = 1 + rng.uniform_int(std::uint64_t{1000});
+  c.scenario.m_side = rng.uniform(1.0, 500.0);
+  c.scenario.initial_energy = rng.uniform(0.0, 10.0);
+  c.scenario.energy_heterogeneity = rng.uniform01();
+  c.scenario.bs = pick(rng, {BsPlacement::kCenter, BsPlacement::kTopFaceCenter,
+                             BsPlacement::kCorner, BsPlacement::kExternal});
+
+  c.sim.rounds = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{100}));
+  c.sim.slots_per_round =
+      1 + static_cast<int>(rng.uniform_int(std::uint64_t{40}));
+  c.sim.mean_interarrival = rng.uniform(-1.0, 16.0);
+  c.sim.packet_bits = rng.uniform(1.0, 8000.0);
+  c.sim.queue_capacity = 1 + rng.uniform_int(std::uint64_t{64});
+  c.sim.service_per_slot =
+      static_cast<int>(rng.uniform_int(std::uint64_t{16}));
+  c.sim.compression = rng.uniform01();
+  c.sim.aggregation =
+      pick(rng, {Aggregation::kRatioCompress, Aggregation::kFixedSummary});
+  c.sim.death_line = rng.uniform(0.0, 0.1);
+  c.sim.max_retries = static_cast<int>(rng.uniform_int(std::uint64_t{5}));
+  c.sim.radio.e_elec = rng.uniform(1e-9, 100e-9);
+  c.sim.radio.e_da = rng.uniform(1e-9, 10e-9);
+  c.sim.radio.eps_fs = rng.uniform(1e-12, 20e-12);
+  c.sim.radio.eps_mp = rng.uniform(1e-16, 1e-14);
+  c.sim.link.d_ref = rng.uniform(10.0, 400.0);
+  c.sim.link.p_floor = rng.uniform01();
+  c.sim.link.bs_reliability_factor = rng.uniform01();
+  c.sim.mobility.kind = pick(rng, {MobilityKind::kNone,
+                                   MobilityKind::kRandomWalk,
+                                   MobilityKind::kRandomWaypoint});
+  c.sim.mobility.speed = rng.uniform(0.0, 20.0);
+  c.sim.mobility.arrival_tolerance = rng.uniform(0.1, 5.0);
+  c.sim.harvest_per_round = rng.uniform(0.0, 0.01);
+  c.sim.idle_listen_j_per_slot = rng.uniform(0.0, 1e-6);
+  c.sim.audit.enabled = rng.bernoulli(0.5);
+  c.sim.audit.throw_on_violation = rng.bernoulli(0.5);
+  c.sim.trace.record = rng.bernoulli(0.5);
+  c.sim.trace.stop_at_first_death = rng.bernoulli(0.5);
+
+  c.sim.fault.enabled = rng.bernoulli(0.5);
+  c.sim.fault.seed = rng.uniform_int(std::uint64_t{1} << 53);
+  const std::size_t events = rng.uniform_int(std::uint64_t{4});
+  for (std::size_t i = 0; i < events; ++i)
+    c.sim.fault.plan.events.push_back(random_event(rng));
+  c.sim.fault.hazards.crash_per_node = rng.uniform01();
+  c.sim.fault.hazards.stun_per_node = rng.uniform01();
+  c.sim.fault.hazards.stun_rounds =
+      static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+  c.sim.fault.hazards.fade_per_node = rng.uniform01();
+  c.sim.fault.hazards.fade_fraction = rng.uniform01();
+  c.sim.fault.hazards.degrade_episode = rng.uniform01();
+  c.sim.fault.hazards.degrade_rounds =
+      static_cast<int>(rng.uniform_int(std::uint64_t{6}));
+  c.sim.fault.hazards.degrade_factor = rng.uniform01();
+  c.sim.fault.hazards.bs_outage = rng.uniform01();
+  c.sim.fault.hazards.bs_outage_rounds =
+      static_cast<int>(rng.uniform_int(std::uint64_t{4}));
+
+  c.sim.telemetry.enabled = rng.bernoulli(0.5);
+  c.sim.telemetry.sink = pick(rng, {obs::TelemetryOptions::Sink::kNull,
+                                    obs::TelemetryOptions::Sink::kRing,
+                                    obs::TelemetryOptions::Sink::kFile});
+  c.sim.telemetry.events_path =
+      rng.bernoulli(0.5) ? "ev \"quoted\"\n.jsonl" : "";
+  c.sim.telemetry.ring_capacity = 1 + rng.uniform_int(std::uint64_t{8192});
+  c.sim.telemetry.per_packet_events = rng.bernoulli(0.5);
+  c.sim.telemetry.trace_phases = rng.bernoulli(0.5);
+  c.sim.telemetry.trace_path = rng.bernoulli(0.5) ? "trace.json" : "";
+  c.sim.telemetry.metrics_path = rng.bernoulli(0.5) ? "metrics.json" : "";
+
+  c.protocol.name = pick<std::string>(
+      rng, {"qlec", "kmeans", "fcm", "leach", "deec", "heed", "ideec",
+            "tl-leach", "qelar", "direct"});
+  c.protocol.qlec.gamma = rng.uniform01();
+  c.protocol.qlec.alpha1 = rng.uniform(-2.0, 2.0);
+  c.protocol.qlec.alpha2 = rng.uniform(-2.0, 2.0);
+  c.protocol.qlec.beta1 = rng.uniform(-2.0, 2.0);
+  c.protocol.qlec.beta2 = rng.uniform(-2.0, 2.0);
+  c.protocol.qlec.compression = rng.uniform01();
+  c.protocol.qlec.g = rng.uniform(0.0, 1.0);
+  c.protocol.qlec.l = rng.uniform(0.0, 1000.0);
+  c.protocol.qlec.epsilon = rng.uniform01();
+  c.protocol.qlec.x_scale = rng.uniform(-1.0, 10.0);
+  c.protocol.qlec.y_scale = rng.uniform(-1.0, 10.0);
+  c.protocol.qlec.y_scale_bs = rng.uniform(-1.0, 10.0);
+  c.protocol.qlec.x_bs = rng.uniform(0.0, 2.0);
+  c.protocol.qlec.total_rounds =
+      1 + static_cast<int>(rng.uniform_int(std::uint64_t{100}));
+  c.protocol.qlec.use_energy_threshold = rng.bernoulli(0.5);
+  c.protocol.qlec.reduce_redundancy = rng.bernoulli(0.5);
+  c.protocol.qlec.top_up_to_k = rng.bernoulli(0.5);
+  c.protocol.qlec.hello_bits = rng.uniform(0.0, 500.0);
+  c.protocol.qlec.force_k = static_cast<int>(rng.uniform_int(std::uint64_t{20}));
+  c.protocol.k = rng.uniform_int(std::uint64_t{20});
+  c.protocol.fcm_levels =
+      1 + static_cast<int>(rng.uniform_int(std::uint64_t{5}));
+  c.protocol.death_line = rng.uniform(0.0, 0.1);
+  c.protocol.hello_bits = rng.uniform(0.0, 500.0);
+  c.protocol.radio.eps_mp = rng.uniform(1e-16, 1e-14);
+
+  c.seeds = 1 + rng.uniform_int(std::uint64_t{16});
+  c.base_seed = rng.uniform_int(std::uint64_t{1} << 53);
+  c.deployment = pick(rng, {Deployment::kUniform, Deployment::kTerrain});
+  return c;
+}
+
+TEST(ConfigRoundTrip, DefaultConfigSurvives) {
+  const ExperimentConfig def;
+  EXPECT_EQ(parse_experiment(experiment_to_json(def)), def);
+}
+
+TEST(ConfigRoundTrip, EmptyDocumentYieldsAllDefaults) {
+  // Absent fields keep the compiled defaults (backward compatibility).
+  EXPECT_EQ(parse_experiment("{}"), ExperimentConfig{});
+}
+
+TEST(ConfigRoundTrip, TwoHundredRandomConfigs) {
+  Rng rng(20260807);
+  for (int i = 0; i < 220; ++i) {
+    const ExperimentConfig cfg = random_config(rng);
+    const std::string text = experiment_to_json(cfg);
+    ExperimentConfig back;
+    ASSERT_NO_THROW(back = parse_experiment(text)) << "case " << i << "\n"
+                                                   << text;
+    EXPECT_EQ(back, cfg) << "case " << i << "\n" << text;
+    // And the serialization itself is a fixed point.
+    EXPECT_EQ(experiment_to_json(back), text) << "case " << i;
+  }
+}
+
+TEST(ConfigRoundTrip, EnumCornersAllSurvive) {
+  ExperimentConfig cfg;
+  for (const auto bs : {BsPlacement::kCenter, BsPlacement::kTopFaceCenter,
+                        BsPlacement::kCorner, BsPlacement::kExternal}) {
+    for (const auto agg :
+         {Aggregation::kRatioCompress, Aggregation::kFixedSummary}) {
+      for (const auto mob : {MobilityKind::kNone, MobilityKind::kRandomWalk,
+                             MobilityKind::kRandomWaypoint}) {
+        for (const auto sink : {obs::TelemetryOptions::Sink::kNull,
+                                obs::TelemetryOptions::Sink::kRing,
+                                obs::TelemetryOptions::Sink::kFile}) {
+          for (const auto dep :
+               {Deployment::kUniform, Deployment::kTerrain}) {
+            cfg.scenario.bs = bs;
+            cfg.sim.aggregation = agg;
+            cfg.sim.mobility.kind = mob;
+            cfg.sim.telemetry.sink = sink;
+            cfg.deployment = dep;
+            EXPECT_EQ(parse_experiment(experiment_to_json(cfg)), cfg);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ConfigRoundTrip, AllFaultKindsSurvive) {
+  ExperimentConfig cfg;
+  for (const auto kind :
+       {FaultKind::kCrash, FaultKind::kStun, FaultKind::kBlackout,
+        FaultKind::kLinkDegrade, FaultKind::kBsOutage,
+        FaultKind::kBatteryFade}) {
+    FaultEvent e;
+    e.kind = kind;
+    e.round = 3;
+    e.node = 7;
+    e.severity = 0.25;
+    cfg.sim.fault.plan.events.push_back(e);
+  }
+  cfg.sim.fault.enabled = true;
+  EXPECT_EQ(parse_experiment(experiment_to_json(cfg)), cfg);
+}
+
+TEST(ConfigRoundTrip, ExtremeRepresentableIntegersSurvive) {
+  ExperimentConfig cfg;
+  cfg.base_seed = (std::uint64_t{1} << 53);  // largest exact seed
+  cfg.sim.fault.seed = (std::uint64_t{1} << 53) - 1;
+  cfg.seeds = 1;
+  cfg.scenario.n = 1;
+  EXPECT_EQ(parse_experiment(experiment_to_json(cfg)), cfg);
+}
+
+TEST(ConfigRoundTrip, PathologicalStringsSurviveEscaping) {
+  ExperimentConfig cfg;
+  cfg.sim.telemetry.events_path = "a\"b\\c\nd\te\x01f/unicode\xC3\xA9";
+  cfg.sim.telemetry.trace_path = std::string("nul\0byte-free", 3);
+  EXPECT_EQ(parse_experiment(experiment_to_json(cfg)), cfg);
+}
+
+TEST(ConfigRoundTrip, EnumNamesAreBijective) {
+  EXPECT_STREQ(bs_placement_name(BsPlacement::kTopFaceCenter),
+               "top_face_center");
+  EXPECT_STREQ(aggregation_name(Aggregation::kFixedSummary), "fixed_summary");
+  EXPECT_STREQ(mobility_kind_name(MobilityKind::kRandomWaypoint),
+               "random_waypoint");
+  EXPECT_STREQ(telemetry_sink_name(obs::TelemetryOptions::Sink::kFile),
+               "file");
+}
+
+}  // namespace
+}  // namespace qlec::config

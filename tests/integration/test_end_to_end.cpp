@@ -84,7 +84,7 @@ TEST(EndToEnd, DirectUplinkWastesEnergyVsQlec) {
 
 TEST(EndToEnd, TerrainDeploymentWorks) {
   ExperimentConfig cfg = paper_like(4.0, 10, 2);
-  cfg.deployment = "terrain";
+  cfg.deployment = Deployment::kTerrain;
   const AggregatedMetrics m = run_experiment("qlec", cfg);
   EXPECT_GT(m.pdr.mean(), 0.3);
 }

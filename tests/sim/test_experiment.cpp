@@ -19,11 +19,22 @@ TEST(Experiment, BuildNetworkUniformAndTerrain) {
   ExperimentConfig cfg = fast_experiment();
   const Network u = build_network(cfg, 1);
   EXPECT_EQ(u.size(), 30u);
-  cfg.deployment = "terrain";
+  cfg.deployment = Deployment::kTerrain;
   const Network t = build_network(cfg, 1);
   EXPECT_EQ(t.size(), 30u);
-  cfg.deployment = "bogus";
-  EXPECT_THROW(build_network(cfg, 1), std::invalid_argument);
+}
+
+TEST(Experiment, DeploymentNamesRoundTrip) {
+  // The closed enum replaced the stringly seam: unknown deployments are now
+  // rejected at config-parse time (see tests/config), so the only name
+  // surface left is this bijection.
+  for (const Deployment d : {Deployment::kUniform, Deployment::kTerrain}) {
+    const auto back = deployment_from_name(deployment_name(d));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, d);
+  }
+  EXPECT_FALSE(deployment_from_name("bogus").has_value());
+  EXPECT_FALSE(deployment_from_name("").has_value());
 }
 
 TEST(Experiment, ReplicationsProduceOnePerSeed) {

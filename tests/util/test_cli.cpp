@@ -88,6 +88,19 @@ TEST(CliArgs, NegativeNumbersParse) {
   EXPECT_EQ(args.get_int("n", 0), -7);
 }
 
+TEST(CliArgs, GetAllPreservesRepeatsInOrder) {
+  const CliArgs args = parse({"--set", "a=1", "--n=5", "--set", "b=2",
+                              "--set=c=3"});
+  const std::vector<std::string> sets = args.get_all("set");
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0], "a=1");
+  EXPECT_EQ(sets[1], "b=2");
+  EXPECT_EQ(sets[2], "c=3");
+  EXPECT_TRUE(args.get_all("missing").empty());
+  // Scalar getters still see the last occurrence.
+  EXPECT_EQ(args.get_string("set", ""), "c=3");
+}
+
 TEST(RenderUsage, ContainsAllOptions) {
   const std::string out = render_usage(
       "tool", {{"--alpha <x>", "does alpha"}, {"--b", "flag b"}});

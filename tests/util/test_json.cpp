@@ -180,5 +180,46 @@ TEST(JsonParser, RoundTripsWriterOutput) {
   EXPECT_TRUE(doc->get("tags")->at(1).is_null());
 }
 
+TEST(JsonDump, CompactDumpIsParseInverse) {
+  const std::string text =
+      R"({"a":1,"b":[true,null,"x\n"],"c":{"d":0.5,"e":-3}})";
+  const auto doc = parse_json(text);
+  ASSERT_TRUE(doc.has_value());
+  // Member order and exact values are preserved, so dump == input here.
+  EXPECT_EQ(dump_json(*doc), text);
+  // And the generic inverse property: parse(dump(v)) == dump-stable.
+  const auto again = parse_json(dump_json(*doc));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(dump_json(*again), dump_json(*doc));
+}
+
+TEST(JsonDump, PrettyPrintNests) {
+  const auto doc = parse_json(R"({"a":{"b":[1,2]},"c":[]})");
+  const std::string pretty = dump_json(*doc, 2);
+  EXPECT_NE(pretty.find("{\n  \"a\": {\n    \"b\": [\n      1,"),
+            std::string::npos)
+      << pretty;
+  EXPECT_NE(pretty.find("\"c\": []"), std::string::npos) << pretty;
+  // Pretty form parses back to the same tree.
+  EXPECT_EQ(dump_json(*parse_json(pretty)), dump_json(*doc));
+}
+
+TEST(JsonDump, WriteValueSplicesIntoStream) {
+  const auto doc = parse_json(R"({"inner":[1,"two"]})");
+  JsonWriter w;
+  w.begin_object();
+  w.key("echo");
+  write_value(w, *doc);
+  w.key("after");
+  w.value(7);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"echo":{"inner":[1,"two"]},"after":7})");
+}
+
+TEST(JsonDump, LargeIntegersStayIntegral) {
+  const auto doc = parse_json("[9007199254740992,-42,0]");
+  EXPECT_EQ(dump_json(*doc), "[9007199254740992,-42,0]");
+}
+
 }  // namespace
 }  // namespace qlec
