@@ -16,6 +16,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/env.hpp"
 #include "util/json.hpp"
 
@@ -43,11 +47,12 @@ struct Timing {
 };
 
 /// Runs `fn` once untimed (warmup: touch memory, warm caches/allocators),
-/// then `repeats` timed repetitions.
+/// then `repeats` timed repetitions. Pass `warmup = false` for huge cases
+/// where one extra repetition costs more than the cache variance it buys.
 template <typename F>
-Timing time_case(std::size_t repeats, F&& fn) {
+Timing time_case(std::size_t repeats, F&& fn, bool warmup = true) {
   Timing t;
-  fn();  // warmup
+  if (warmup) fn();
   t.samples.reserve(repeats);
   for (std::size_t i = 0; i < repeats; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -58,6 +63,23 @@ Timing time_case(std::size_t repeats, F&& fn) {
   return t;
 }
 
+/// Process peak resident set size in bytes (VmHWM); 0 where unsupported.
+/// A process-wide high-water mark: when cases run in ascending footprint
+/// order, the reading after a case is that case's peak.
+inline std::size_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#elif defined(__unix__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#else
+  return 0;
+#endif
+}
+
 /// One benchmark case's throughput record, as written to BENCH_*.json.
 struct CaseResult {
   std::string name;          ///< e.g. protocol name or "qlec"
@@ -65,6 +87,9 @@ struct CaseResult {
   std::size_t seeds = 0;     ///< replications per timed repetition
   std::uint64_t rounds = 0;  ///< simulated rounds per repetition (all seeds)
   std::uint64_t packets = 0; ///< generated packets per repetition
+  /// Peak RSS (bytes) observed by the end of this case; the memory
+  /// footprint column of BENCH_scaling.json (0 = not measured).
+  std::size_t peak_rss = 0;
   Timing timing;
 
   double rounds_per_sec() const {
@@ -88,6 +113,8 @@ inline void write_case(JsonWriter& j, const CaseResult& c) {
   j.key("wall_p90_s"); j.value(c.timing.p90());
   j.key("wall_min_s"); j.value(c.timing.min());
   j.key("repeats"); j.value(c.timing.samples.size());
+  j.key("peak_rss_bytes");
+  j.value(static_cast<unsigned long long>(c.peak_rss));
   j.key("rounds_per_sec"); j.value(c.rounds_per_sec());
   j.key("packets_per_sec"); j.value(c.packets_per_sec());
   j.end_object();

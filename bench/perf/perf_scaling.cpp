@@ -1,14 +1,38 @@
 // Node-count scaling sweep for the QLEC hot path: density-fixed deployments
-// from N = 100 to N = 20k, reporting rounds/sec and packets/sec per size.
-// Emits BENCH_scaling.json; when QLEC_PERF_BASELINE points at a previously
-// emitted file, it is embedded verbatim under "baseline" and per-N speedups
-// are reported, which is how the committed pre-/post-optimization comparison
-// is produced (see EXPERIMENTS.md).
+// from N = 100 to N = 1M, reporting rounds/sec, packets/sec, and the peak
+// memory footprint per size. Emits BENCH_scaling.json; when
+// QLEC_PERF_BASELINE points at a previously emitted file, it is embedded
+// verbatim under "baseline" and per-N speedups are reported, which is how
+// the committed pre-/post-optimization comparison is produced (see
+// EXPERIMENTS.md). QLEC_PERF_SHARDS=<n> runs every case on the sharded
+// round core (sim.exec.shards = n) — output is bit-identical under the
+// shard-invariance contract, so the throughput columns stay comparable.
 #include <cmath>
 #include <cstdio>
 
 #include "perf_common.hpp"
 #include "sim/experiment.hpp"
+
+namespace {
+
+/// The repeats policy, stated once and logged per case so a truncated
+/// sample count is never silent: SCALE-tier cases (N >= 100k) time a
+/// single repetition and skip the untimed warmup — one repetition is
+/// already minutes of work at N = 1M — and mid-size cases drop from 5 to
+/// 3. QLEC_PERF_REPEATS overrides the count (warmup stays per policy).
+struct RepeatsPolicy {
+  std::size_t repeats;
+  bool warmup;
+};
+
+RepeatsPolicy repeats_policy(std::size_t n, bool fast) {
+  if (fast) return {2, true};
+  if (n >= 100000) return {1, false};
+  if (n >= 5000) return {3, true};
+  return {5, true};
+}
+
+}  // namespace
 
 int main() {
   using namespace qlec;
@@ -16,11 +40,17 @@ int main() {
   const bool fast = env::bench_fast();
   const std::vector<std::size_t> sizes =
       fast ? std::vector<std::size_t>{100, 500, 1000}
-           : std::vector<std::size_t>{100, 500, 1000, 2000, 5000, 10000,
-                                      20000};
+           : std::vector<std::size_t>{100,   500,    1000,  2000,   5000,
+                                      10000, 20000, 100000, 1000000};
+  const int shards = env::perf_shards();
 
   std::printf("=== perf_scaling: QLEC rounds/sec vs N (density fixed) ===\n");
-  std::printf("R=5, lambda=4, 1 seed; repeats median over warmed runs\n\n");
+  std::printf("R=5, lambda=4, 1 seed; median over timed repetitions\n");
+  std::printf("repeats policy: 5 (N<5000), 3 (N>=5000), 1+no-warmup "
+              "(N>=100000); fast mode: 2\n");
+  if (shards > 0)
+    std::printf("sharded round core: sim.exec.shards=%d\n", shards);
+  std::printf("\n");
 
   std::vector<perf::CaseResult> cases;
   for (const std::size_t n : sizes) {
@@ -35,26 +65,39 @@ int main() {
     cfg.sim.death_line = -1.0;  // throughput run: nobody dies
     cfg.seeds = 1;
     cfg.protocol.qlec.total_rounds = cfg.sim.rounds;
+    if (shards > 0) cfg.sim.exec.shards = shards;
 
-    const std::size_t repeats =
-        env::perf_repeats(fast ? 2 : (n >= 5000 ? 3 : 5));
+    const RepeatsPolicy policy = repeats_policy(n, fast);
+    const std::size_t repeats = env::perf_repeats(policy.repeats);
+    if (repeats < 5 || !policy.warmup)
+      std::printf("  [N=%zu: %zu timed repetition%s%s]\n", n, repeats,
+                  repeats == 1 ? "" : "s",
+                  policy.warmup ? "" : ", warmup skipped");
     perf::CaseResult c;
     c.name = "qlec";
     c.n = n;
     c.seeds = cfg.seeds;
-    c.timing = perf::time_case(repeats, [&] {
-      std::uint64_t rounds = 0, packets = 0;
-      for (const SimResult& r : run_replications("qlec", cfg)) {
-        rounds += static_cast<std::uint64_t>(r.rounds_completed);
-        packets += r.generated;
-      }
-      c.rounds = rounds;
-      c.packets = packets;
-    });
-    std::printf("  N=%-6zu median %8.1f ms  %8.2f rounds/s  %10.0f "
-                "packets/s\n",
+    c.timing = perf::time_case(
+        repeats,
+        [&] {
+          std::uint64_t rounds = 0, packets = 0;
+          for (const SimResult& r : run_replications("qlec", cfg)) {
+            rounds += static_cast<std::uint64_t>(r.rounds_completed);
+            packets += r.generated;
+          }
+          c.rounds = rounds;
+          c.packets = packets;
+        },
+        policy.warmup);
+    // Cases run in ascending-N order, so the process high-water mark after
+    // a case is that case's peak footprint.
+    c.peak_rss = perf::peak_rss_bytes();
+    std::printf("  N=%-7zu median %9.1f ms  %8.2f rounds/s  %10.0f "
+                "packets/s  peak RSS %8.1f MB\n",
                 n, 1e3 * c.timing.median(), c.rounds_per_sec(),
-                c.packets_per_sec());
+                c.packets_per_sec(),
+                static_cast<double>(c.peak_rss) / (1024.0 * 1024.0));
+    std::fflush(stdout);
     cases.push_back(c);
   }
 
@@ -65,7 +108,7 @@ int main() {
       const double base =
           perf::baseline_field(baseline, c.n, "rounds_per_sec");
       if (std::isnan(base) || base <= 0.0) continue;
-      std::printf("  N=%-6zu %.2fx rounds/sec\n", c.n,
+      std::printf("  N=%-7zu %.2fx rounds/sec\n", c.n,
                   c.rounds_per_sec() / base);
     }
   }

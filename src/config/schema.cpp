@@ -387,6 +387,10 @@ void write_sim(JsonWriter& w, const SimConfig& s) {
   w.end_object();
   w.key("fault"); write_fault(w, s.fault);
   w.key("telemetry"); write_telemetry(w, s.telemetry);
+  w.key("exec");
+  w.begin_object();
+  w.key("shards"); w.value(s.exec.shards);
+  w.end_object();
   w.end_object();
 }
 
@@ -601,6 +605,11 @@ SimConfig read_sim(const JsonValue& v, const std::string& path,
     out.fault = read_fault(*j, r.sub("fault"), out.fault);
   if (const JsonValue* j = r.find("telemetry"))
     out.telemetry = read_telemetry(*j, r.sub("telemetry"), out.telemetry);
+  if (const JsonValue* j = r.find("exec")) {
+    ObjectReader e(*j, r.sub("exec"));
+    e.int_field("shards", out.exec.shards, 1);
+    e.finish();
+  }
   r.finish();
   return out;
 }

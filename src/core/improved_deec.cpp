@@ -18,7 +18,7 @@ double deec_energy_threshold(double initial_energy, int r, int total_rounds) {
 std::vector<int> improved_deec_elect(Network& net,
                                      const ImprovedDeecConfig& cfg, int round,
                                      Rng& rng, double death_line,
-                                     ElectionStats* stats) {
+                                     ElectionStats* stats, ExecContext* exec) {
   ElectionStats local;
   net.reset_heads();
 
@@ -28,19 +28,20 @@ std::vector<int> improved_deec_elect(Network& net,
                                      round, cfg.total_rounds)
           : net.mean_residual_alive(death_line);
 
-  std::vector<int> elected;
-  int best_fallback = kBaseStationId;
-  double best_energy = -1.0;
-  for (SensorNode& n : net.nodes()) {
-    if (!n.operational(death_line)) continue;
-    ++local.alive;
-    if (n.battery.residual() > best_energy) {
-      best_energy = n.battery.residual();
-      best_fallback = n.id;
-    }
+  // Pass 1 — RNG-free classification, fanned over shards: per node, the
+  // alive flag, the Eq. 4 / rotation eligibility, and the draw threshold
+  // T(b_i). Pure reads + disjoint per-node writes, so shard-invariant.
+  const std::size_t n_nodes = net.size();
+  std::vector<std::uint8_t> alive_flag(n_nodes, 0);
+  std::vector<std::uint8_t> eligible(n_nodes, 0);
+  std::vector<double> thr(n_nodes, 0.0);
+  const auto classify = [&](std::uint32_t i) {
+    const SensorNode& n = net.node(static_cast<int>(i));
+    if (!n.operational(death_line)) return;
+    alive_flag[i] = 1;
     const double p_i =
         deec_probability(cfg.p_opt, n.battery.residual(), avg);
-    if (!deec_eligible(n.last_head_round, round, p_i)) continue;
+    if (!deec_eligible(n.last_head_round, round, p_i)) return;
     // Eq. 4 restriction: too drained to serve. Qualification is non-strict
     // (residual >= threshold): at round 0 the threshold equals the full
     // initial energy, and a paper-literal strict test would disqualify
@@ -49,9 +50,35 @@ std::vector<int> improved_deec_elect(Network& net,
         n.battery.residual() < deec_energy_threshold(n.battery.initial(),
                                                      round,
                                                      cfg.total_rounds))
-      continue;
+      return;
+    eligible[i] = 1;
+    thr[i] = deec_threshold(p_i, round);
+  };
+  if (exec != nullptr && exec->has_partition()) {
+    exec->for_shards([&](int s) {
+      for (const std::uint32_t id : exec->shard_nodes(s)) classify(id);
+    });
+  } else {
+    for (std::uint32_t i = 0; i < n_nodes; ++i) classify(i);
+  }
+
+  // Pass 2 — the draw, strictly serial in id order: every rng.uniform01()
+  // is consumed for exactly the eligible nodes, in exactly the order the
+  // single-loop election consumed them.
+  std::vector<int> elected;
+  int best_fallback = kBaseStationId;
+  double best_energy = -1.0;
+  for (std::uint32_t i = 0; i < n_nodes; ++i) {
+    if (!alive_flag[i]) continue;
+    ++local.alive;
+    SensorNode& n = net.node(static_cast<int>(i));
+    if (n.battery.residual() > best_energy) {
+      best_energy = n.battery.residual();
+      best_fallback = n.id;
+    }
+    if (!eligible[i]) continue;
     ++local.eligible;
-    if (rng.uniform01() < deec_threshold(p_i, round)) {
+    if (rng.uniform01() < thr[i]) {
       n.is_head = true;  // provisional until Algorithm 3 runs
       elected.push_back(n.id);
     }
@@ -68,18 +95,39 @@ std::vector<int> improved_deec_elect(Network& net,
     head_pos.reserve(elected.size());
     for (const int id : elected) head_pos.push_back(net.node(id).pos);
     const SpatialGrid grid(head_pos, cfg.coverage_radius);
-    std::vector<bool> removed(elected.size(), false);
-    for (std::size_t i = 0; i < elected.size(); ++i) {
-      const double e_i = net.node(elected[i]).battery.residual();
-      for (const std::size_t j :
-           grid.neighbours_of(i, cfg.coverage_radius)) {
-        if (removed[j]) continue;  // a head that quit no longer competes
-        const double e_j = net.node(elected[j]).battery.residual();
-        if (e_j > e_i || (e_j == e_i && elected[j] < elected[i])) {
-          removed[i] = true;
-          ++local.pruned;
-          break;
+    const std::size_t m = elected.size();
+
+    // Parallel half: collect each head's threat list (richer neighbours
+    // within d_c, in the grid's deterministic walk order). Pure reads.
+    std::vector<std::vector<std::uint32_t>> threats(m);
+    const auto collect = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double e_i = net.node(elected[i]).battery.residual();
+        for (const std::size_t j :
+             grid.neighbours_of(i, cfg.coverage_radius)) {
+          const double e_j = net.node(elected[j]).battery.residual();
+          if (e_j > e_i || (e_j == e_i && elected[j] < elected[i]))
+            threats[i].push_back(static_cast<std::uint32_t>(j));
         }
+      }
+    };
+    if (exec != nullptr) {
+      exec->for_blocks(m, collect);
+    } else {
+      collect(0, m);
+    }
+
+    // Serial half: resolve quits in index order. Identical outcome to the
+    // original break-on-first grid walk — neighbours that are not threats
+    // never set removed[i] or break the walk, so skipping them is
+    // invisible, and removed[j] is read at the same point of the i-sweep.
+    std::vector<bool> removed(m, false);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const std::uint32_t j : threats[i]) {
+        if (removed[j]) continue;  // a head that quit no longer competes
+        removed[i] = true;
+        ++local.pruned;
+        break;
       }
     }
     std::vector<int> kept;
@@ -102,20 +150,14 @@ std::vector<int> improved_deec_elect(Network& net,
     const auto target_k = static_cast<std::size_t>(std::max<long long>(
         1, std::llround(cfg.p_opt * static_cast<double>(net.size()))));
     if (elected.size() < target_k) {
-      // Candidates sorted by residual energy, richest first.
+      // Candidates sorted by residual energy, richest first. Pass 1 already
+      // decided rotation/Eq. 4 eligibility and nothing it reads (batteries,
+      // last_head_round) has changed since, so reuse it; only the is_head
+      // flags moved (election + pruning), and those are filtered here.
       std::vector<int> candidates;
-      for (const SensorNode& n : net.nodes()) {
-        if (n.is_head || !n.operational(death_line)) continue;
-        const double p_i =
-            deec_probability(cfg.p_opt, n.battery.residual(), avg);
-        if (!deec_eligible(n.last_head_round, round, p_i))
-          continue;  // drafting still honors the rotating epoch
-        if (cfg.use_energy_threshold &&
-            n.battery.residual() <
-                deec_energy_threshold(n.battery.initial(), round,
-                                      cfg.total_rounds))
-          continue;
-        candidates.push_back(n.id);
+      for (std::uint32_t i = 0; i < n_nodes; ++i) {
+        if (!eligible[i] || net.node(static_cast<int>(i)).is_head) continue;
+        candidates.push_back(static_cast<int>(i));
       }
       std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
         return net.node(a).battery.residual() >

@@ -43,23 +43,27 @@ void QlecProtocol::on_round_start(Network& net, int round, Rng& rng,
   cfg.reduce_redundancy = params_.reduce_redundancy;
   cfg.top_up_to_k = params_.top_up_to_k;
   heads_ = improved_deec_elect(net, cfg, round, rng, death_line_,
-                               &last_stats_);
+                               &last_stats_, exec_);
 
   // Control plane: each surviving head broadcasts its HELLO across d_c, and
   // every alive node inside the coverage ball spends receive energy on it.
   if (params_.hello_bits > 0.0 && !heads_.empty()) {
-    const SpatialGrid grid(net.positions(), std::max(d_c_, 1.0));
-    for (const int h : heads_) {
-      SensorNode& head = net.node(h);
-      const double tx = radio_.tx_energy(params_.hello_bits, d_c_);
-      ledger.charge(EnergyUse::kControl, head.battery.consume(tx), h);
-      for (const std::size_t j : grid.query(head.pos, d_c_)) {
-        const int jid = static_cast<int>(j);
-        if (jid == h) continue;
-        SensorNode& nbr = net.node(jid);
-        if (!nbr.operational(death_line_)) continue;
-        const double rx = radio_.rx_energy(params_.hello_bits);
-        ledger.charge(EnergyUse::kControl, nbr.battery.consume(rx), jid);
+    if (exec_ != nullptr && exec_->has_partition() && exec_->shards() > 1) {
+      charge_hello_sharded(net, ledger);
+    } else {
+      const SpatialGrid grid(net.positions(), std::max(d_c_, 1.0));
+      for (const int h : heads_) {
+        SensorNode& head = net.node(h);
+        const double tx = radio_.tx_energy(params_.hello_bits, d_c_);
+        ledger.charge(EnergyUse::kControl, head.battery.consume(tx), h);
+        for (const std::size_t j : grid.query(head.pos, d_c_)) {
+          const int jid = static_cast<int>(j);
+          if (jid == h) continue;
+          SensorNode& nbr = net.node(jid);
+          if (!nbr.operational(death_line_)) continue;
+          const double rx = radio_.rx_energy(params_.hello_bits);
+          ledger.charge(EnergyUse::kControl, nbr.battery.consume(rx), jid);
+        }
       }
     }
   }
@@ -98,6 +102,76 @@ void QlecProtocol::on_round_start(Network& net, int round, Rng& rng,
                            .with("pruned", s.pruned)
                            .with("final_heads", s.final_heads));
   }
+}
+
+void QlecProtocol::charge_hello_sharded(Network& net, EnergyLedger& ledger) {
+  // Receiver-centric rewrite of the h-major HELLO walk. Equivalence: the
+  // h-major loop touches node j's battery exactly for the covering heads h
+  // (distance2(h, j) <= d_c², a bitwise-symmetric predicate), in ascending
+  // head order (heads_ is sorted): its own tx when h == j, else an rx
+  // gated on j being operational *at that moment*. operational() reads only
+  // j's own battery, so each node's charge sequence is independent of every
+  // other node's — replaying it per node in id order leaves every battery
+  // bit-identical, and only the ledger's bucket accumulation order changes
+  // (digest-free; the energy audit compares with tolerance).
+  const std::size_t n = net.size();
+  std::vector<Vec3> head_pos;
+  head_pos.reserve(heads_.size());
+  for (const int h : heads_) head_pos.push_back(net.node(h).pos);
+  const SpatialGrid grid(head_pos, std::max(d_c_, 1.0));
+
+  // Parallel half (RNG-free, disjoint per-node writes): each shard queries
+  // the head grid around its own nodes and records the covering head slots,
+  // sorted so the walk below sees them in head-id order.
+  HelloScratch& sc = hello_scratch_;
+  sc.off.assign(n, 0);
+  sc.cnt.assign(n, 0);
+  sc.per_shard.resize(static_cast<std::size_t>(exec_->shards()));
+  exec_->for_shards([&](int s) {
+    std::vector<std::uint32_t>& buf =
+        sc.per_shard[static_cast<std::size_t>(s)];
+    buf.clear();
+    std::vector<std::size_t> q;
+    for (const std::uint32_t id : exec_->shard_nodes(s)) {
+      grid.query_into(net.node(static_cast<int>(id)).pos, d_c_, q);
+      std::sort(q.begin(), q.end());
+      sc.off[id] = static_cast<std::uint32_t>(buf.size());
+      sc.cnt[id] = static_cast<std::uint32_t>(q.size());
+      for (const std::size_t slot : q)
+        buf.push_back(static_cast<std::uint32_t>(slot));
+    }
+  });
+
+  // Serial half: commit the battery charges node by node.
+  const double tx = radio_.tx_energy(params_.hello_bits, d_c_);
+  const double rx = radio_.rx_energy(params_.hello_bits);
+  for (std::uint32_t id = 0; id < static_cast<std::uint32_t>(n); ++id) {
+    SensorNode& node = net.node(static_cast<int>(id));
+    const std::vector<std::uint32_t>& buf =
+        sc.per_shard[static_cast<std::size_t>(exec_->shard_of(id))];
+    bool self_txed = false;
+    const std::uint32_t off = sc.off[id];
+    for (std::uint32_t k = 0; k < sc.cnt[id]; ++k) {
+      const int h = heads_[buf[off + k]];
+      if (h == static_cast<int>(id)) {
+        ledger.charge(EnergyUse::kControl, node.battery.consume(tx), h);
+        self_txed = true;
+      } else if (node.operational(death_line_)) {
+        ledger.charge(EnergyUse::kControl, node.battery.consume(rx),
+                      static_cast<int>(id));
+      }
+    }
+    // A head's broadcast tx is unconditional in the h-major loop even if a
+    // degenerate radius keeps it out of its own coverage query.
+    if (node.is_head && !self_txed)
+      ledger.charge(EnergyUse::kControl, node.battery.consume(tx),
+                    static_cast<int>(id));
+  }
+}
+
+void QlecProtocol::prepare_tx(const Network& net, double packet_bits) {
+  if (exec_ == nullptr || exec_->shards() <= 1) return;
+  router_.prefill_rows(net, packet_bits, exec_, death_line_);
 }
 
 int QlecProtocol::route(const Network& net, int src, double bits, Rng& rng) {

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "util/exec.hpp"
+#include "util/simd.hpp"
+
 namespace qlec {
 
 QlecRouter::QlecRouter(QlecParams params, RadioModel radio,
@@ -149,25 +152,85 @@ int QlecRouter::choose_target(const Network& net, int src, double bits,
   // the result is bit-identical to calling q_value() per action.
   const double x_src = x_of(net, src);
   const double v_src_now = v(src);
-  for (const int a : actions_) {
-    const double y = y_cached(net, src, a, bits);
-    double r_s = -params_.g + params_.alpha1 * (x_src + x_of(net, a)) -
-                 params_.alpha2 * y;
-    if (a == kBaseStationId) r_s -= params_.l;  // Eq. 19's direct-BS penalty
-    const double r_f =
-        -params_.g + params_.beta1 * x_src - params_.beta2 * y;
-    const TwoOutcomeTransition t{
-        .p_success = estimator_.estimate(src, a),
-        .reward_success = r_s,
-        .reward_failure = r_f,
-        .v_success = v(a),
-        .v_failure = v_src_now,
-    };
-    const double q = t.q_value(params_.gamma);
-    ++q_evals_;
-    if (q > best_q) {
-      best_q = q;
-      best = a;
+  const std::size_t kh = actions_.size() - 1;  // head actions; BS is last
+  constexpr std::size_t kSimdThreshold = 8;
+  if (kh >= kSimdThreshold) {
+    // SoA gather in actions_ order (y_cached mutates the memo in the same
+    // order as the scalar loop), one q_scan + argmax over the head actions,
+    // then the BS action scalar — the exact inline expressions of the else
+    // branch, so best/best_q land bit-identically (the simd oracle suite
+    // pins q_scan and the first-strict-max argmax to scalar semantics).
+    qs_p_.resize(kh);
+    qs_y_.resize(kh);
+    qs_x_.resize(kh);
+    qs_v_.resize(kh);
+    qs_q_.resize(kh);
+    for (std::size_t i = 0; i < kh; ++i) {
+      const int a = actions_[i];
+      qs_y_[i] = y_cached(net, src, a, bits);
+      qs_p_[i] = estimator_.estimate(src, a);
+      qs_x_[i] = x_of(net, a);
+      qs_v_[i] = v(a);
+    }
+    const simd::QScanConsts c{.x_src = x_src,
+                              .v_src = v_src_now,
+                              .g = params_.g,
+                              .alpha1 = params_.alpha1,
+                              .alpha2 = params_.alpha2,
+                              .beta1 = params_.beta1,
+                              .beta2 = params_.beta2,
+                              .gamma = params_.gamma};
+    const simd::Kernels& kr = simd::kernels();
+    kr.q_scan(qs_p_.data(), qs_y_.data(), qs_x_.data(), qs_v_.data(), kh, c,
+              qs_q_.data());
+    const std::size_t am = kr.argmax(qs_q_.data(), kh);
+    if (am != simd::npos) {
+      best_q = qs_q_[am];
+      best = actions_[am];
+    }
+    {  // the BS action, exactly as the scalar loop's last iteration
+      const double y = y_cached(net, src, kBaseStationId, bits);
+      double r_s = -params_.g +
+                   params_.alpha1 * (x_src + x_of(net, kBaseStationId)) -
+                   params_.alpha2 * y;
+      r_s -= params_.l;  // Eq. 19's direct-BS penalty
+      const double r_f =
+          -params_.g + params_.beta1 * x_src - params_.beta2 * y;
+      const TwoOutcomeTransition t{
+          .p_success = estimator_.estimate(src, kBaseStationId),
+          .reward_success = r_s,
+          .reward_failure = r_f,
+          .v_success = v(kBaseStationId),
+          .v_failure = v_src_now,
+      };
+      const double q = t.q_value(params_.gamma);
+      if (q > best_q) {
+        best_q = q;
+        best = kBaseStationId;
+      }
+    }
+    q_evals_ += actions_.size();
+  } else {
+    for (const int a : actions_) {
+      const double y = y_cached(net, src, a, bits);
+      double r_s = -params_.g + params_.alpha1 * (x_src + x_of(net, a)) -
+                   params_.alpha2 * y;
+      if (a == kBaseStationId) r_s -= params_.l;  // Eq. 19's direct-BS penalty
+      const double r_f =
+          -params_.g + params_.beta1 * x_src - params_.beta2 * y;
+      const TwoOutcomeTransition t{
+          .p_success = estimator_.estimate(src, a),
+          .reward_success = r_s,
+          .reward_failure = r_f,
+          .v_success = v(a),
+          .v_failure = v_src_now,
+      };
+      const double q = t.q_value(params_.gamma);
+      ++q_evals_;
+      if (q > best_q) {
+        best_q = q;
+        best = a;
+      }
     }
   }
 
@@ -179,6 +242,92 @@ int QlecRouter::choose_target(const Network& net, int src, double bits,
   if (params_.epsilon > 0.0 && rng.bernoulli(params_.epsilon))
     return actions_[rng.uniform_int(actions_.size())];
   return best;
+}
+
+void QlecRouter::prefill_rows(const Network& net, double bits,
+                              ExecContext* exec, double death_line) {
+  if (stride_ == 0 || heads_.empty() || v_.empty()) return;
+  const std::size_t k = heads_.size();
+  if (k + 1 > stride_) return;  // begin_round() guarantees otherwise
+
+  // Head-position SoA, slot-ordered to match the memo's row layout.
+  hx_.resize(k);
+  hy_.resize(k);
+  hz_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const Vec3& p = net.node(heads_[i]).pos;
+    hx_[i] = p.x;
+    hy_[i] = p.y;
+    hz_[i] = p.z;
+  }
+  // The head-target normalizer of y_of, lane-invariant across slots.
+  const double scale_head = params_.y_scale > 0.0
+                                ? params_.y_scale
+                                : radio_.amp_energy(bits, radio_.d0());
+
+  const std::size_t n = std::min<std::size_t>(v_.size(), net.size());
+  const auto is_member = [&](std::uint32_t id) {
+    const SensorNode& node = net.node(static_cast<int>(id));
+    return node.operational(death_line) && !node.is_head;
+  };
+
+  // Serial token pass in id order: exactly the row-refresh bookkeeping that
+  // y_cached performs on a row's first touch with these (round, bits) —
+  // token_counter_ is shared state, so it never fans out. Token values may
+  // differ from what a lazy first-route order would have assigned, but
+  // tokens are pure cache metadata; the y values below are what the digest
+  // can observe, and those are bit-identical to y_of.
+  for (std::uint32_t id = 0; id < static_cast<std::uint32_t>(n); ++id) {
+    if (!is_member(id)) continue;
+    if (row_round_[id] != round_serial_ || row_bits_[id] != bits) {
+      row_round_[id] = round_serial_;
+      row_bits_[id] = bits;
+      if (++token_counter_ == 0) {  // u32 wrap: no stale entry may match
+        std::fill(y_token_.begin(), y_token_.end(), 0u);
+        token_counter_ = 1;
+      }
+      row_token_[id] = token_counter_;
+    }
+  }
+
+  // Parallel fill: each member's row is written only by its own shard
+  // (disjoint rows), through the SIMD distance -> Eq. 18 -> normalize
+  // chain, each kernel bit-identical to the scalar y_of pipeline.
+  const RadioParams& rp = radio_.params();
+  const double d0 = radio_.d0();
+  const simd::Kernels& kr = simd::kernels();
+  const auto fill_node = [&](std::uint32_t id, double* dbuf, double* ebuf) {
+    const Vec3& p = net.node(static_cast<int>(id)).pos;
+    kr.dist_to_point(hx_.data(), hy_.data(), hz_.data(), k, p.x, p.y, p.z,
+                     dbuf);
+    kr.amp_energy(dbuf, k, bits, rp.eps_fs, rp.eps_mp, d0, ebuf);
+    double* row = y_val_.data() + static_cast<std::size_t>(id) * stride_;
+    if (scale_head > 0.0) {
+      kr.scale_div(ebuf, k, scale_head, row);
+    } else {
+      std::copy(ebuf, ebuf + k, row);
+    }
+    // The BS slot keeps the scalar path (distinct normalizer, one entry).
+    row[k] = y_of(net, static_cast<int>(id), kBaseStationId, bits);
+    std::uint32_t* trow =
+        y_token_.data() + static_cast<std::size_t>(id) * stride_;
+    const std::uint32_t tok = row_token_[id];
+    for (std::size_t i = 0; i <= k; ++i) trow[i] = tok;
+  };
+  if (exec != nullptr && exec->has_partition()) {
+    exec->for_shards([&](int s) {
+      Arena& arena = exec->arena(s);
+      double* dbuf = arena.alloc<double>(k);
+      double* ebuf = arena.alloc<double>(k);
+      for (const std::uint32_t id : exec->shard_nodes(s)) {
+        if (id < n && is_member(id)) fill_node(id, dbuf, ebuf);
+      }
+    });
+  } else {
+    std::vector<double> dbuf(k), ebuf(k);
+    for (std::uint32_t id = 0; id < static_cast<std::uint32_t>(n); ++id)
+      if (is_member(id)) fill_node(id, dbuf.data(), ebuf.data());
+  }
 }
 
 void QlecRouter::record_outcome(int from, int to, bool success) {

@@ -16,6 +16,8 @@
 
 namespace qlec {
 
+class ExecContext;  // util/exec.hpp
+
 class QlecRouter {
  public:
   QlecRouter(QlecParams params, RadioModel radio, std::size_t n_nodes);
@@ -30,6 +32,16 @@ class QlecRouter {
   /// kBaseStationId). With params.epsilon > 0, explores uniformly with that
   /// probability (V is still updated from the greedy max).
   int choose_target(const Network& net, int src, double bits, Rng& rng);
+
+  /// Bulk-fills the per-round y memo for every alive member through the
+  /// SIMD kernels, sharded over `exec` (head rows and the lazy path stay as
+  /// they are). Value-transparent: each filled entry is bit-identical to
+  /// what y_cached would have computed on demand, so routing decisions and
+  /// digests do not depend on whether (or at what shard count) this ran.
+  /// Token bookkeeping runs serially on the caller; only the disjoint
+  /// per-row value writes fan out.
+  void prefill_rows(const Network& net, double bits, ExecContext* exec,
+                    double death_line);
 
   /// ACK outcome of a member -> target attempt; feeds the link estimator.
   void record_outcome(int from, int to, bool success);
@@ -100,6 +112,11 @@ class QlecRouter {
   std::vector<std::uint32_t> row_token_;
   std::vector<std::uint32_t> row_round_;
   std::vector<double> row_bits_;
+  // SoA gather buffers for the SIMD Q-scan in choose_target and the head
+  // positions for prefill_rows; members so the steady state allocates
+  // nothing. Contents are transient within one call.
+  std::vector<double> qs_p_, qs_y_, qs_x_, qs_v_, qs_q_;
+  std::vector<double> hx_, hy_, hz_;
 };
 
 }  // namespace qlec

@@ -1,0 +1,27 @@
+// Spatial-grid region partitioning for the sharded round core: splits the
+// node set into `shards` spatially-coherent regions so per-node phases that
+// query the neighbourhood grid (HELLO coverage, nearest-head assignment)
+// touch mostly shard-local cells. The partition is a function of the
+// positions and the shard count alone — never of thread scheduling — and
+// every consumer performs only disjoint per-node writes, so the partition
+// can never influence simulation output (the shard-invariance suite proves
+// digests are bit-identical at every shard count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace qlec {
+
+/// Partitions node ids [0, pos.size()) into `shards` disjoint regions of
+/// near-equal size (difference at most one node). Nodes are ordered by a
+/// coarse spatial-grid sweep of their positions (ties by id) and the order
+/// is cut into contiguous runs, so each shard covers a compact region.
+/// Degenerate geometries (all nodes coincident, zero extent) degrade to an
+/// id-ordered split. shards <= 1 returns a single region with every node.
+std::vector<std::vector<std::uint32_t>> region_partition(
+    const std::vector<Vec3>& pos, int shards);
+
+}  // namespace qlec

@@ -13,6 +13,8 @@
 
 namespace qlec {
 
+class ExecContext;  // util/exec.hpp
+
 namespace obs {
 class Telemetry;  // obs/telemetry.hpp
 }
@@ -68,6 +70,25 @@ class ClusteringProtocol {
   /// non-learning protocols); surfaces the X of Theorem 3 in results.
   virtual std::size_t learning_updates() const { return 0; }
 
+  /// Called once per round after election and the simulator's state
+  /// refresh, before the first slot: a protocol may hoist per-round TX
+  /// precomputation here (e.g. QLEC prefills its y-cost rows with the SIMD
+  /// kernels). Must be behaviorally invisible — routing decisions, energy,
+  /// and traces are bit-identical whether or not anything is precomputed.
+  virtual void prepare_tx(const Network& net, double packet_bits) {
+    (void)net;
+    (void)packet_bits;
+  }
+
+  /// Attaches the intra-round sharding context for the coming run (nullptr
+  /// detaches = fully serial round core). The simulator calls this when
+  /// SimConfig::exec.shards > 1; the pointer is only valid for that run.
+  /// The determinism contract of util/exec.hpp applies: protocols may fan
+  /// RNG-free per-node work over shards but must keep every RNG draw and
+  /// every order-sensitive merge on the calling thread in canonical order,
+  /// so output is bit-identical at every shard count.
+  virtual void set_exec(ExecContext* exec) { exec_ = exec; }
+
   /// Attaches the telemetry context for the coming run (nullptr detaches).
   /// The simulator calls this around run_simulation when
   /// SimConfig::telemetry is enabled; the pointer is only valid for that
@@ -82,6 +103,8 @@ class ClusteringProtocol {
  protected:
   /// The attached context, or nullptr (the common, zero-cost case).
   obs::Telemetry* telemetry_ = nullptr;
+  /// The attached sharding context, or nullptr (serial round core).
+  ExecContext* exec_ = nullptr;
 };
 
 }  // namespace qlec

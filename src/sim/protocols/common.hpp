@@ -11,6 +11,8 @@
 #include "energy/radio_model.hpp"
 #include "geom/spatial_grid.hpp"
 #include "net/network.hpp"
+#include "util/exec.hpp"
+#include "util/simd.hpp"
 
 namespace qlec::detail {
 
@@ -43,20 +45,63 @@ inline std::vector<int> assign_nearest_head_brute(
 /// brute-force comparison loop is replayed over those candidates in head
 /// order — so the argmin and its tie-break are decided by the identical
 /// float comparisons, while only O(candidates) instead of O(k) heads are
-/// examined. Falls back to the brute scan for small head sets, where the
-/// contiguous scan beats grid-construction overhead.
+/// examined. Small head sets instead take a SIMD scan: one dist_to_point +
+/// argmin over an alive-head SoA per node, whose first-wins strict-< lane
+/// merge reproduces the brute loop's winner and tie-break exactly.
+///
+/// The per-node loop is RNG-free and writes only assignment[node], so when
+/// an ExecContext with a round partition is supplied it fans out over the
+/// spatial shards; output is bit-identical at every shard count.
 inline std::vector<int> assign_nearest_head(const Network& net,
                                             const std::vector<int>& heads,
-                                            double death_line) {
+                                            double death_line,
+                                            ExecContext* exec = nullptr) {
   // Alive heads, preserving `heads` order (the tie-break order).
   std::vector<int> alive;
   alive.reserve(heads.size());
   for (const int h : heads)
     if (net.node(h).operational(death_line)) alive.push_back(h);
 
+  std::vector<int> assignment(net.size(), kBaseStationId);
+  if (alive.empty()) return assignment;
+
+  // Runs fn(id) for every node id — sharded when a partition is live. The
+  // shards cover [0, net.size()) disjointly, so this visits each node once.
+  const auto over_nodes = [&](const auto& fn) {
+    if (exec != nullptr && exec->has_partition()) {
+      exec->for_shards([&](int s) {
+        for (const std::uint32_t id : exec->shard_nodes(s)) fn(id);
+      });
+    } else {
+      const std::uint32_t n = static_cast<std::uint32_t>(net.size());
+      for (std::uint32_t id = 0; id < n; ++id) fn(id);
+    }
+  };
+
   constexpr std::size_t kBruteThreshold = 16;
-  if (alive.size() < kBruteThreshold)
-    return assign_nearest_head_brute(net, heads, death_line);
+  if (alive.size() < kBruteThreshold) {
+    // SIMD small-set path. Equivalent to the brute scan: dead heads are
+    // pre-filtered in `heads` order (skipping them never updates `best`),
+    // dist_to_point matches net.dist bit-for-bit, and argmin keeps the
+    // first strict minimum exactly like the `d < best` replay.
+    double xs[kBruteThreshold], ys[kBruteThreshold], zs[kBruteThreshold];
+    const std::size_t k = alive.size();
+    for (std::size_t c = 0; c < k; ++c) {
+      const Vec3& p = net.node(alive[c]).pos;
+      xs[c] = p.x;
+      ys[c] = p.y;
+      zs[c] = p.z;
+    }
+    const simd::Kernels& kr = simd::kernels();
+    over_nodes([&](std::uint32_t id) {
+      double dbuf[kBruteThreshold];
+      const Vec3& p = net.node(static_cast<int>(id)).pos;
+      kr.dist_to_point(xs, ys, zs, k, p.x, p.y, p.z, dbuf);
+      const std::size_t win = kr.argmin(dbuf, k);
+      if (win != simd::npos) assignment[id] = alive[win];
+    });
+    return assignment;
+  }
 
   std::vector<Vec3> head_pos;
   head_pos.reserve(alive.size());
@@ -71,24 +116,36 @@ inline std::vector<int> assign_nearest_head(const Network& net,
           : 1.0;
   const SpatialGrid grid(head_pos, cell);
 
-  std::vector<int> assignment(net.size(), kBaseStationId);
-  std::vector<std::size_t> cands;
-  for (const SensorNode& n : net.nodes()) {
-    const std::size_t near = grid.nearest(n.pos);
+  // Thread-local candidate scratch: over_nodes may run this lambda from
+  // several pool workers at once, but each node id is visited exactly once,
+  // so the assignment writes stay disjoint.
+  const auto assign_one = [&](std::uint32_t id, std::vector<std::size_t>& cands) {
+    const Vec3& p = net.node(static_cast<int>(id)).pos;
+    const std::size_t near = grid.nearest(p);
     // Upper bound on the true minimum, computed with the same distance()
     // expression as the brute loop; inflate so sqrt-rounding ties survive
     // the grid's squared-distance cut.
-    const double d_near = distance(n.pos, head_pos[near]);
-    grid.query_into(n.pos, d_near + 1e-9 * (d_near + 1.0), cands);
+    const double d_near = distance(p, head_pos[near]);
+    grid.query_into(p, d_near + 1e-9 * (d_near + 1.0), cands);
     std::sort(cands.begin(), cands.end());
     double best = std::numeric_limits<double>::infinity();
     for (const std::size_t c : cands) {
-      const double d = distance(n.pos, head_pos[c]);
+      const double d = distance(p, head_pos[c]);
       if (d < best) {
         best = d;
-        assignment[static_cast<std::size_t>(n.id)] = alive[c];
+        assignment[id] = alive[c];
       }
     }
+  };
+  if (exec != nullptr && exec->has_partition()) {
+    exec->for_shards([&](int s) {
+      std::vector<std::size_t> cands;
+      for (const std::uint32_t id : exec->shard_nodes(s)) assign_one(id, cands);
+    });
+  } else {
+    std::vector<std::size_t> cands;
+    const std::uint32_t n = static_cast<std::uint32_t>(net.size());
+    for (std::uint32_t id = 0; id < n; ++id) assign_one(id, cands);
   }
   return assignment;
 }

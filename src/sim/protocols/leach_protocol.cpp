@@ -17,7 +17,7 @@ void LeachProtocol::on_round_start(Network& net, int round, Rng& rng,
                                    EnergyLedger& ledger) {
   const std::vector<int> heads =
       leach_elect(net, p_, round, rng, death_line_);
-  assignment_ = detail::assign_nearest_head(net, heads, death_line_);
+  assignment_ = detail::assign_nearest_head(net, heads, death_line_, exec_);
   const double m_side = std::cbrt(std::max(net.domain().volume(), 0.0));
   const double k_expected =
       std::max(1.0, p_ * static_cast<double>(net.size()));
@@ -34,7 +34,7 @@ int LeachProtocol::route(const Network& net, int src, double bits,
   if (a != kBaseStationId && net.node(a).operational(death_line_))
     return a;
   const std::vector<int> fresh =
-      detail::assign_nearest_head(net, net.head_ids(), death_line_);
+      detail::assign_nearest_head(net, net.head_ids(), death_line_, exec_);
   return fresh.at(static_cast<std::size_t>(src));
 }
 

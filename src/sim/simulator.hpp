@@ -15,6 +15,7 @@
 #include "sim/fault/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
+#include "util/exec.hpp"
 #include "util/rng.hpp"
 
 namespace qlec {
@@ -90,6 +91,11 @@ struct SimConfig {
   /// so traces and golden digests stay bit-identical either way. See
   /// OBSERVABILITY.md.
   obs::TelemetryOptions telemetry;
+  /// Intra-round sharding (util/exec.hpp, DESIGN.md §12). shards > 1 fans
+  /// the RNG-free round phases over an internal thread pool; every shard
+  /// count — including 1, the default serial core — produces bit-identical
+  /// traces and golden digests (the shard-invariance suite enforces this).
+  ExecOptions exec;
 
   friend bool operator==(const SimConfig&, const SimConfig&) = default;
 };

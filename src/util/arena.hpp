@@ -1,0 +1,124 @@
+// Bump-pointer arena for per-round scratch memory. The sharded round core
+// (DESIGN.md §12) hands every shard task its own Arena: allocations inside a
+// task are pointer bumps into a thread-private chunk, and reset() recycles
+// the storage for the next round without freeing it — so the steady-state
+// round loop performs no heap allocation no matter how many scratch spans a
+// kernel stages. Only trivially-destructible element types are allowed
+// (nothing is ever destroyed, just forgotten).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace qlec {
+
+class Arena {
+ public:
+  /// `initial_bytes` sizes the first chunk (rounded up to the first
+  /// allocation that doesn't fit). The arena starts empty; no memory is
+  /// reserved until the first alloc().
+  explicit Arena(std::size_t initial_bytes = 16 * 1024) noexcept
+      : initial_bytes_(initial_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Uninitialized storage for `n` objects of T, aligned to alignof(T).
+  /// n == 0 returns a non-null, unusable pointer (like operator new[]).
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(raw_alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// alloc<T> plus value-initialization (zeroed for arithmetic types).
+  template <typename T>
+  T* alloc_zeroed(std::size_t n) {
+    T* p = alloc<T>(n);
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T();
+    return p;
+  }
+
+  /// Forgets every allocation but keeps the storage. After enough resets the
+  /// arena settles into a single chunk sized to the high-water mark, and
+  /// every later round is allocation-free.
+  void reset() noexcept {
+    if (chunks_.size() > 1) {
+      // Coalesce: replace the chunk list with one chunk big enough for the
+      // whole high-water footprint, so the next round bump-allocates from
+      // contiguous storage without chaining.
+      std::size_t total = 0;
+      for (const Chunk& c : chunks_) total += c.size;
+      chunks_.clear();
+      push_chunk(total);
+    }
+    cursor_ = 0;
+    used_ = 0;
+  }
+
+  /// Releases all storage (back to the freshly-constructed state).
+  void release() noexcept {
+    chunks_.clear();
+    cursor_ = 0;
+    used_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (excluding alignment padding).
+  std::size_t bytes_used() const noexcept { return used_; }
+  /// Bytes of backing storage currently owned.
+  std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* raw_alloc(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (chunks_.empty()) push_chunk(std::max(initial_bytes_, bytes + align));
+    Chunk* c = &chunks_.back();
+    std::size_t at = align_up(cursor_, align);
+    if (at + bytes > c->size) {
+      // Grow geometrically so a round's total footprint costs O(log) chunk
+      // allocations at most once; reset() coalesces them afterwards.
+      push_chunk(std::max(c->size * 2, bytes + align));
+      c = &chunks_.back();
+      cursor_ = 0;
+      at = align_up(cursor_, align);
+    }
+    cursor_ = at + bytes;
+    used_ += bytes;
+    return c->data.get() + at;
+  }
+
+  static std::size_t align_up(std::size_t v, std::size_t align) noexcept {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  void push_chunk(std::size_t size) {
+    Chunk c;
+    c.data = std::make_unique<std::byte[]>(size);
+    c.size = size;
+    chunks_.push_back(std::move(c));
+    cursor_ = 0;
+  }
+
+  std::size_t initial_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t cursor_ = 0;  // bump offset into chunks_.back()
+  std::size_t used_ = 0;
+};
+
+}  // namespace qlec

@@ -1,0 +1,211 @@
+// SSE2 backend for qlec::simd (2 doubles per lane-group). Compiled without
+// extra ISA flags — SSE2 is part of the x86-64 baseline. Every kernel keeps
+// the scalar reference's operation order exactly (see simd_impl.hpp); tails
+// fall through to the shared scalar range loops.
+#include "util/simd_impl.hpp"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <limits>
+
+namespace qlec::simd::detail {
+namespace {
+
+inline __m128d blend(__m128d mask, __m128d if_set, __m128d if_clear) {
+  return _mm_or_pd(_mm_and_pd(mask, if_set), _mm_andnot_pd(mask, if_clear));
+}
+
+void sse2_dist2(const double* xs, const double* ys, const double* zs,
+                std::size_t n, double cx, double cy, double cz, double* out) {
+  const __m128d vcx = _mm_set1_pd(cx);
+  const __m128d vcy = _mm_set1_pd(cy);
+  const __m128d vcz = _mm_set1_pd(cz);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    const __m128d dz = _mm_sub_pd(_mm_loadu_pd(zs + i), vcz);
+    const __m128d d2 = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)),
+        _mm_mul_pd(dz, dz));
+    _mm_storeu_pd(out + i, d2);
+  }
+  dist2_range(xs, ys, zs, i, n, cx, cy, cz, out);
+}
+
+void sse2_dist(const double* xs, const double* ys, const double* zs,
+               std::size_t n, double cx, double cy, double cz, double* out) {
+  const __m128d vcx = _mm_set1_pd(cx);
+  const __m128d vcy = _mm_set1_pd(cy);
+  const __m128d vcz = _mm_set1_pd(cz);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), vcx);
+    const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), vcy);
+    const __m128d dz = _mm_sub_pd(_mm_loadu_pd(zs + i), vcz);
+    const __m128d d2 = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy)),
+        _mm_mul_pd(dz, dz));
+    _mm_storeu_pd(out + i, _mm_sqrt_pd(d2));
+  }
+  dist_range(xs, ys, zs, i, n, cx, cy, cz, out);
+}
+
+// amp = d < d0 ? (bits*eps_fs)*d*d : (bits*eps_mp)*d*d*d*d, d clamped at 0.
+// _mm_max_pd(zero, d) matches the scalar `if (d < 0) d = 0`: it returns the
+// second operand when unordered (NaN passes through) or equal (-0.0 stays).
+inline __m128d amp_block(__m128d d, __m128d vfs, __m128d vmp, __m128d vd0) {
+  d = _mm_max_pd(_mm_setzero_pd(), d);
+  const __m128d fs = _mm_mul_pd(_mm_mul_pd(vfs, d), d);
+  const __m128d mp2 = _mm_mul_pd(_mm_mul_pd(vmp, d), d);
+  const __m128d mp = _mm_mul_pd(_mm_mul_pd(mp2, d), d);
+  return blend(_mm_cmplt_pd(d, vd0), fs, mp);
+}
+
+void sse2_amp(const double* din, std::size_t n, double bits, double eps_fs,
+              double eps_mp, double d0, double* out) {
+  const __m128d vfs = _mm_set1_pd(bits * eps_fs);
+  const __m128d vmp = _mm_set1_pd(bits * eps_mp);
+  const __m128d vd0 = _mm_set1_pd(d0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_pd(out + i,
+                  amp_block(_mm_loadu_pd(din + i), vfs, vmp, vd0));
+  amp_range(din, i, n, bits, eps_fs, eps_mp, d0, out);
+}
+
+void sse2_tx(const double* din, std::size_t n, double bits, double e_elec,
+             double eps_fs, double eps_mp, double d0, double* out) {
+  const __m128d vfs = _mm_set1_pd(bits * eps_fs);
+  const __m128d vmp = _mm_set1_pd(bits * eps_mp);
+  const __m128d vd0 = _mm_set1_pd(d0);
+  const __m128d velec = _mm_set1_pd(bits * e_elec);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_pd(
+        out + i,
+        _mm_add_pd(velec, amp_block(_mm_loadu_pd(din + i), vfs, vmp, vd0)));
+  tx_range(din, i, n, bits, e_elec, eps_fs, eps_mp, d0, out);
+}
+
+void sse2_scale_div(const double* num, std::size_t n, double denom,
+                    double* out) {
+  const __m128d vden = _mm_set1_pd(denom);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    _mm_storeu_pd(out + i, _mm_div_pd(_mm_loadu_pd(num + i), vden));
+  scale_div_range(num, i, n, denom, out);
+}
+
+void sse2_q_scan(const double* p, const double* y, const double* x_t,
+                 const double* v_t, std::size_t n, const QScanConsts& c,
+                 double* out) {
+  const __m128d neg_g = _mm_set1_pd(-c.g);
+  const __m128d a1 = _mm_set1_pd(c.alpha1);
+  const __m128d a2 = _mm_set1_pd(c.alpha2);
+  const __m128d b2 = _mm_set1_pd(c.beta2);
+  const __m128d xsrc = _mm_set1_pd(c.x_src);
+  const __m128d vsrc = _mm_set1_pd(c.v_src);
+  const __m128d gamma = _mm_set1_pd(c.gamma);
+  const __m128d one = _mm_set1_pd(1.0);
+  // (-g) + beta1*x_src is lane-invariant; hoisting it performs the same two
+  // roundings the scalar loop does every iteration.
+  const __m128d rf_base = _mm_set1_pd(-c.g + c.beta1 * c.x_src);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d ps = _mm_loadu_pd(p + i);
+    const __m128d ys = _mm_loadu_pd(y + i);
+    const __m128d xt = _mm_loadu_pd(x_t + i);
+    const __m128d vt = _mm_loadu_pd(v_t + i);
+    const __m128d r_s = _mm_sub_pd(
+        _mm_add_pd(neg_g, _mm_mul_pd(a1, _mm_add_pd(xsrc, xt))),
+        _mm_mul_pd(a2, ys));
+    const __m128d r_f = _mm_sub_pd(rf_base, _mm_mul_pd(b2, ys));
+    const __m128d omp = _mm_sub_pd(one, ps);
+    const __m128d rt =
+        _mm_add_pd(_mm_mul_pd(ps, r_s), _mm_mul_pd(omp, r_f));
+    const __m128d vterm =
+        _mm_add_pd(_mm_mul_pd(ps, vt), _mm_mul_pd(omp, vsrc));
+    _mm_storeu_pd(out + i, _mm_add_pd(rt, _mm_mul_pd(gamma, vterm)));
+  }
+  q_scan_range(p, y, x_t, v_t, i, n, c, out);
+}
+
+// First-strict-extremum scan. Lane L owns indices L, L+2, …; per-lane
+// first-wins plus a (value, then min-index) lane merge reproduces the scalar
+// first-wins order exactly. Never-updated lanes still hold ±inf and are
+// skipped by the strict merge, so all-NaN / all-inf inputs yield npos just
+// like the scalar loop.
+template <bool kMax>
+std::size_t sse2_argext(const double* vals, std::size_t n) {
+  const double init = kMax ? -std::numeric_limits<double>::infinity()
+                           : std::numeric_limits<double>::infinity();
+  double best_v = init;
+  std::size_t best = npos;
+  std::size_t i = 0;
+  if (n >= 2) {
+    __m128d bv = _mm_set1_pd(init);
+    __m128d bi = _mm_setzero_pd();
+    __m128d idx = _mm_set_pd(1.0, 0.0);
+    const __m128d step = _mm_set1_pd(2.0);
+    for (; i + 2 <= n; i += 2) {
+      const __m128d v = _mm_loadu_pd(vals + i);
+      const __m128d better =
+          kMax ? _mm_cmpgt_pd(v, bv) : _mm_cmplt_pd(v, bv);
+      bv = blend(better, v, bv);
+      bi = blend(better, idx, bi);
+      idx = _mm_add_pd(idx, step);
+    }
+    double lane_v[2], lane_i[2];
+    _mm_storeu_pd(lane_v, bv);
+    _mm_storeu_pd(lane_i, bi);
+    for (int l = 0; l < 2; ++l) {
+      const bool strictly_better = kMax ? lane_v[l] > best_v
+                                        : lane_v[l] < best_v;
+      const bool tie_lower = best != npos && lane_v[l] == best_v &&
+                             static_cast<std::size_t>(lane_i[l]) < best;
+      if (strictly_better || tie_lower) {
+        best_v = lane_v[l];
+        best = static_cast<std::size_t>(lane_i[l]);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const bool better = kMax ? vals[i] > best_v : vals[i] < best_v;
+    if (better) {
+      best_v = vals[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t sse2_argmax(const double* v, std::size_t n) {
+  return sse2_argext<true>(v, n);
+}
+std::size_t sse2_argmin(const double* v, std::size_t n) {
+  return sse2_argext<false>(v, n);
+}
+
+constexpr Kernels kSse2Table{
+    sse2_dist2,     sse2_dist,
+    sse2_amp,       sse2_tx,
+    sse2_scale_div, sse2_q_scan,
+    sse2_argmax,    sse2_argmin,
+};
+
+}  // namespace
+
+const Kernels* sse2_table() noexcept { return &kSse2Table; }
+
+}  // namespace qlec::simd::detail
+
+#else  // !__SSE2__
+
+namespace qlec::simd::detail {
+const Kernels* sse2_table() noexcept { return nullptr; }
+}  // namespace qlec::simd::detail
+
+#endif

@@ -1,0 +1,123 @@
+// Properties of the spatial region partitioner behind the sharded round
+// core: a disjoint cover, near-equal sizes, determinism, and sane handling
+// of degenerate geometries. (Whether the partition can influence simulation
+// output is covered end-to-end by tests/integration/test_shard_invariance.)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/region_shards.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+namespace {
+
+std::vector<Vec3> random_cloud(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> pos;
+  pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pos.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0),
+                   rng.uniform(0.0, 100.0)});
+  return pos;
+}
+
+/// Every id in [0, n) appears exactly once across all shards.
+void expect_disjoint_cover(
+    const std::vector<std::vector<std::uint32_t>>& parts, std::size_t n) {
+  std::vector<int> seen(n, 0);
+  for (const auto& p : parts)
+    for (const std::uint32_t id : p) {
+      ASSERT_LT(id, n);
+      ++seen[id];
+    }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(RegionShards, DisjointCoverAtManyShardCounts) {
+  const auto pos = random_cloud(257, 1);
+  for (const int s : {1, 2, 3, 7, 16, 64, 257, 400}) {
+    const auto parts = region_partition(pos, s);
+    ASSERT_EQ(parts.size(), static_cast<std::size_t>(s));
+    expect_disjoint_cover(parts, pos.size());
+  }
+}
+
+TEST(RegionShards, SizesAreBalancedWithinOne) {
+  const auto pos = random_cloud(1000, 2);
+  for (const int s : {2, 3, 7, 16}) {
+    const auto parts = region_partition(pos, s);
+    std::size_t lo = pos.size(), hi = 0;
+    for (const auto& p : parts) {
+      lo = std::min(lo, p.size());
+      hi = std::max(hi, p.size());
+    }
+    EXPECT_LE(hi - lo, 1u) << "shards=" << s;
+  }
+}
+
+TEST(RegionShards, DeterministicForIdenticalInput) {
+  const auto pos = random_cloud(500, 3);
+  EXPECT_EQ(region_partition(pos, 7), region_partition(pos, 7));
+}
+
+TEST(RegionShards, SingleShardHoldsEveryNodeInIdOrder) {
+  const auto pos = random_cloud(25, 4);
+  const auto parts = region_partition(pos, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  ASSERT_EQ(parts[0].size(), pos.size());
+  for (std::uint32_t i = 0; i < parts[0].size(); ++i)
+    EXPECT_EQ(parts[0][i], i);
+}
+
+TEST(RegionShards, DegenerateGeometriesStillCover) {
+  // All nodes coincident: zero extent on every axis.
+  std::vector<Vec3> same(33, Vec3{5.0, 5.0, 5.0});
+  expect_disjoint_cover(region_partition(same, 4), same.size());
+  // A line: two axes degenerate.
+  std::vector<Vec3> line;
+  for (int i = 0; i < 50; ++i)
+    line.push_back({static_cast<double>(i), 0.0, 0.0});
+  expect_disjoint_cover(region_partition(line, 6), line.size());
+  // Fewer nodes than shards: one node per shard, the rest empty.
+  const auto tiny = random_cloud(3, 5);
+  const auto parts = region_partition(tiny, 8);
+  ASSERT_EQ(parts.size(), 8u);
+  expect_disjoint_cover(parts, tiny.size());
+  // Empty input, zero/negative shard counts.
+  expect_disjoint_cover(region_partition({}, 4), 0);
+  EXPECT_EQ(region_partition(random_cloud(5, 6), 0).size(), 1u);
+  EXPECT_EQ(region_partition(random_cloud(5, 6), -3).size(), 1u);
+}
+
+TEST(RegionShards, ShardsAreSpatiallyCoherent) {
+  // With clearly separated clusters and a matching shard count, nodes of
+  // one cluster should land mostly in one shard: compare each shard's
+  // bounding-box span against the full cloud's. z is held flat — each axis
+  // is normalized by its own extent, so a planar deployment sweeps in xy.
+  std::vector<Vec3> pos;
+  Rng rng(7);
+  for (const double cx : {0.0, 500.0})
+    for (const double cy : {0.0, 500.0})
+      for (int i = 0; i < 50; ++i)
+        pos.push_back({cx + rng.uniform(0.0, 10.0),
+                       cy + rng.uniform(0.0, 10.0), 0.0});
+  const auto parts = region_partition(pos, 4);
+  for (const auto& p : parts) {
+    ASSERT_FALSE(p.empty());
+    Vec3 lo = pos[p[0]], hi = pos[p[0]];
+    for (const std::uint32_t id : p) {
+      lo.x = std::min(lo.x, pos[id].x);
+      lo.y = std::min(lo.y, pos[id].y);
+      hi.x = std::max(hi.x, pos[id].x);
+      hi.y = std::max(hi.y, pos[id].y);
+    }
+    // Each shard spans far less than the ~700-unit cloud diagonal.
+    EXPECT_LT(hi.x - lo.x + (hi.y - lo.y), 600.0);
+  }
+}
+
+}  // namespace
+}  // namespace qlec

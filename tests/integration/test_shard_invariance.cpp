@@ -1,0 +1,133 @@
+// Shard-invariance battery for the sharded round core (DESIGN.md §12).
+//
+// The determinism contract of util/exec.hpp is that sim.exec.shards is a
+// pure performance knob: every shard count — including 1, the fully serial
+// core — must produce bit-identical traces. This suite proves it end to
+// end: for every protocol in the registry, the golden-trace digests at
+// shard counts {2, 3, 7, 16} must equal the serial digests AND the
+// committed tests/golden/ files (so a sharded run can never drift from the
+// frozen replay baseline either). Fault-storm and telemetry variants cover
+// the paths where sharded phases interleave with fault liveness flips and
+// observational instrumentation.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace qlec {
+namespace {
+
+#ifndef QLEC_GOLDEN_DIR
+#error "QLEC_GOLDEN_DIR must point at tests/golden (set in tests/CMakeLists.txt)"
+#endif
+
+// Shard counts chosen to hit the interesting decompositions: the serial
+// baseline, even/odd splits, a count that does not divide typical node
+// counts, and one far above the pool width of any CI machine.
+const int kShardCounts[] = {1, 2, 3, 7, 16};
+
+/// The SAME frozen scenario as tests/sim/test_golden_traces.cpp — that is
+/// the point: a sharded run must reproduce the committed digests exactly.
+ExperimentConfig golden_config() {
+  ExperimentConfig cfg;
+  cfg.scenario.n = 40;
+  cfg.sim.rounds = 10;
+  cfg.sim.slots_per_round = 10;
+  cfg.sim.trace.record = true;
+  cfg.seeds = 2;
+  cfg.base_seed = 42;
+  cfg.protocol.qlec.total_rounds = 10;
+  return cfg;
+}
+
+std::vector<std::string> digests_for(const std::string& protocol,
+                                     ExperimentConfig cfg, int shards) {
+  cfg.sim.exec.shards = shards;
+  const auto results = run_replications(protocol, cfg);
+  std::vector<std::string> out;
+  out.reserve(results.size());
+  for (const SimResult& r : results) out.push_back(trace_digest_hex(r.trace));
+  return out;
+}
+
+std::vector<std::string> read_golden(const std::string& protocol) {
+  std::ifstream in(std::string(QLEC_GOLDEN_DIR) + "/" + protocol + ".digest");
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);)
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+TEST(ShardInvariance, EveryProtocolMatchesCommittedGoldensAtEveryShardCount) {
+  const ExperimentConfig cfg = golden_config();
+  for (const std::string& name : protocol_names()) {
+    const std::vector<std::string> golden = read_golden(name);
+    ASSERT_FALSE(golden.empty())
+        << name << ": missing committed golden digests";
+    for (const int shards : kShardCounts) {
+      EXPECT_EQ(digests_for(name, cfg, shards), golden)
+          << name << " diverged from the committed goldens at shards="
+          << shards << " — the sharded round core is NOT bit-identical "
+          << "to the serial one.";
+    }
+  }
+}
+
+TEST(ShardInvariance, LargerScenarioIsShardCountInvariant) {
+  // Big enough that the grid-backed assignment path and the sharded HELLO
+  // walk actually engage (k_opt well above the brute-scan threshold).
+  ExperimentConfig cfg = golden_config();
+  cfg.scenario.n = 300;
+  cfg.seeds = 1;
+  const std::vector<std::string> serial = digests_for("qlec", cfg, 1);
+  for (const int shards : kShardCounts)
+    EXPECT_EQ(digests_for("qlec", cfg, shards), serial) << shards;
+}
+
+TEST(ShardInvariance, FaultStormDigestsAreShardCountInvariant) {
+  // A dense fault mix: crashes, stuns, fades, degradation episodes and BS
+  // outages all enabled, so shard-phase inputs (liveness, batteries)
+  // churn mid-run. The fault layer draws from its own replayed stream;
+  // sharding must not perturb it or the main stream.
+  ExperimentConfig cfg = golden_config();
+  cfg.sim.fault.enabled = true;
+  cfg.sim.fault.hazards.crash_per_node = 0.02;
+  cfg.sim.fault.hazards.stun_per_node = 0.04;
+  cfg.sim.fault.hazards.fade_per_node = 0.02;
+  cfg.sim.fault.hazards.degrade_episode = 0.15;
+  cfg.sim.fault.hazards.bs_outage = 0.05;
+  for (const std::string& name : protocol_names()) {
+    const std::vector<std::string> serial = digests_for(name, cfg, 1);
+    for (const int shards : kShardCounts)
+      EXPECT_EQ(digests_for(name, cfg, shards), serial)
+          << name << " at shards=" << shards;
+  }
+}
+
+TEST(ShardInvariance, TelemetryAndAuditRunsAreShardCountInvariant) {
+  // Observational layers on top of the sharded core: neither telemetry
+  // counters nor the per-round auditor may perturb — or be perturbed by —
+  // the shard decomposition.
+  ExperimentConfig cfg = golden_config();
+  cfg.sim.telemetry.enabled = true;
+  cfg.sim.audit.enabled = true;
+  cfg.sim.audit.throw_on_violation = true;
+  const std::vector<std::string> serial = digests_for("qlec", cfg, 1);
+  EXPECT_EQ(serial, read_golden("qlec"))
+      << "telemetry+audit must not change the trace";
+  for (const int shards : kShardCounts)
+    EXPECT_EQ(digests_for("qlec", cfg, shards), serial) << shards;
+}
+
+TEST(ShardInvariance, ShardedRerunsAreBitIdentical) {
+  // Same shard count twice: the pool schedule varies between runs, the
+  // digests must not.
+  ExperimentConfig cfg = golden_config();
+  EXPECT_EQ(digests_for("qlec", cfg, 7), digests_for("qlec", cfg, 7));
+}
+
+}  // namespace
+}  // namespace qlec
