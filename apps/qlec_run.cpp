@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "config/jobs.hpp"
 #include "config/runner.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
@@ -33,6 +34,11 @@ const std::vector<std::pair<std::string, std::string>> kOptions = {
     {"--serial", "force serial execution (overrides --jobs and env)"},
     {"--out <dir>", "write manifest.json, manifest.csv and digests.txt "
                     "into <dir>"},
+    {"--serve-cache <dir>", "content-addressed result cache: cells whose "
+                            "key (config + code version) is already in "
+                            "<dir> replay without simulating, fresh cells "
+                            "are stored (QLEC_SERVE_CACHE sets the "
+                            "default)"},
     {"--json", "print the JSON manifest to stdout instead of CSV"},
     {"--digest", "record per-seed traces and print their digests"},
     {"--expect-digests <file>", "compare digests against <file> (golden "
@@ -160,9 +166,31 @@ int main(int argc, char** argv) {
     if (args.has("jobs") || jobs > 0) exec = ExecPolicy::pool(jobs);
   }
 
+  // One cell at a time through the job layer (preserving run_grid's cell
+  // order and progress cadence), with an optional content-addressed cache:
+  // a cell whose key is already in the store replays without simulating.
+  const std::string cache_dir =
+      args.get_string("serve-cache", env::serve_cache());
   config::RunManifest manifest;
   try {
-    manifest = config::run_grid(cells, exec, &progress);
+    config::ResultStore store(cache_dir);
+    config::JobRunnerOptions run_opts;
+    run_opts.within_cell = exec;
+    run_opts.store = &store;
+    config::JobRunner runner(run_opts);
+    const std::vector<config::JobSpec> specs = config::plan(cells);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      progress(cells[i], i, cells.size());
+      manifest.cells.push_back(runner.submit(specs[i]).await());
+    }
+    if (!cache_dir.empty() && !g_quiet) {
+      const config::ResultStore::Stats ss = store.stats();
+      std::fprintf(stderr,
+                   "serve-cache %s: %llu hit(s), %llu simulated\n",
+                   cache_dir.c_str(),
+                   static_cast<unsigned long long>(ss.hits),
+                   static_cast<unsigned long long>(ss.misses));
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "qlec_run: %s\n", e.what());
     return 1;

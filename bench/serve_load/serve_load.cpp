@@ -1,0 +1,190 @@
+// serve_load — load generator for the qlec_serve stack: an in-process
+// HttpServer + JobService on an ephemeral loopback port, hammered by
+// concurrent clients submitting overlapping sweep grids over real sockets.
+// Measures end-to-end cells/sec cold (every cell simulates), the dedup
+// behavior under contention (C identical grids in flight at once must
+// simulate each cell exactly once), warm replay throughput out of the
+// ResultStore, and raw request turnaround on /healthz.
+//
+// Emits BENCH_serve.json (committed; see EXPERIMENTS.md "SERVE").
+//   QLEC_BENCH_FAST=1 shrinks the grid and client count for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "config/version.hpp"
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+#include "util/env.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace qlec;
+
+std::string grid_scenario(std::size_t n, std::size_t rounds,
+                          std::size_t seed_axis) {
+  std::string seeds_list;
+  for (std::size_t s = 0; s < seed_axis; ++s)
+    seeds_list += (s ? ", " : "") + std::to_string(100 + s);
+  return R"({
+    "name": "serve-load",
+    "scenario": {"n": )" + std::to_string(n) + R"(},
+    "sim": {"rounds": )" + std::to_string(rounds) +
+         R"(, "slots_per_round": 10, "trace": {"record": true}},
+    "seeds": 1,
+    "sweep": {
+      "protocol.name": ["leach", "direct", "kmeans", "fcm", "heed"],
+      "base_seed": [)" + seeds_list + R"(]
+    }
+  })";
+}
+
+struct Phase {
+  std::string name;
+  std::size_t clients = 0;
+  std::size_t requests = 0;  ///< total successful requests
+  std::size_t cells = 0;     ///< grid cells per request
+  double wall_s = 0;
+  // JobRunner stats delta over the phase:
+  std::uint64_t submitted = 0, simulated = 0, cache_hits = 0, coalesced = 0;
+
+  double cells_per_sec() const {
+    const auto total = static_cast<double>(requests * cells);
+    return wall_s > 0 ? total / wall_s : 0.0;
+  }
+  double hit_rate() const {
+    return submitted > 0
+               ? static_cast<double>(cache_hits + coalesced) /
+                     static_cast<double>(submitted)
+               : 0.0;
+  }
+};
+
+/// Fires `clients` threads, each performing `per_client` blocking
+/// wait=1 submissions (or GETs when `body` is empty) and counting 200s.
+Phase run_phase(const std::string& name, std::uint16_t port,
+                std::size_t clients, std::size_t per_client,
+                const std::string& target, const std::string& body,
+                std::size_t cells, serve::JobService& service) {
+  Phase p;
+  p.name = name;
+  p.clients = clients;
+  p.cells = cells;
+  const config::JobRunner::Stats before = service.runner().stats();
+  std::vector<std::thread> pool;
+  std::vector<std::size_t> ok(clients, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c)
+    pool.emplace_back([&, c] {
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const auto resp = serve::http_request(
+            "127.0.0.1", port, body.empty() ? "GET" : "POST", target, body);
+        if (resp && resp->status == 200) ++ok[c];
+      }
+    });
+  for (std::thread& t : pool) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  p.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (const std::size_t n : ok) p.requests += n;
+  const config::JobRunner::Stats after = service.runner().stats();
+  p.submitted = after.submitted - before.submitted;
+  p.simulated = after.simulated - before.simulated;
+  p.cache_hits = after.cache_hits - before.cache_hits;
+  p.coalesced = after.coalesced - before.coalesced;
+  return p;
+}
+
+void write_phase(JsonWriter& j, const Phase& p) {
+  j.begin_object();
+  j.key("name"); j.value(p.name);
+  j.key("clients"); j.value(p.clients);
+  j.key("requests"); j.value(p.requests);
+  j.key("cells_per_request"); j.value(p.cells);
+  j.key("wall_s"); j.value(p.wall_s);
+  j.key("cells_per_sec"); j.value(p.cells_per_sec());
+  j.key("requests_per_sec");
+  j.value(p.wall_s > 0 ? static_cast<double>(p.requests) / p.wall_s : 0.0);
+  j.key("submitted"); j.value(static_cast<unsigned long long>(p.submitted));
+  j.key("simulated"); j.value(static_cast<unsigned long long>(p.simulated));
+  j.key("cache_hits");
+  j.value(static_cast<unsigned long long>(p.cache_hits));
+  j.key("coalesced"); j.value(static_cast<unsigned long long>(p.coalesced));
+  j.key("hit_rate"); j.value(p.hit_rate());
+  j.end_object();
+}
+
+}  // namespace
+
+int main() {
+  const bool fast = env::bench_fast();
+  const std::size_t n = fast ? 16 : 40;
+  const std::size_t rounds = fast ? 3 : 10;
+  const std::size_t seed_axis = fast ? 2 : 4;
+  const std::size_t clients = fast ? 2 : 4;
+  const std::size_t cells = 5 * seed_axis;  // 5 protocols x seed axis
+  const std::string scenario = grid_scenario(n, rounds, seed_axis);
+
+  serve::ServiceOptions opts;
+  opts.workers = clients;
+  serve::JobService service(opts);
+  serve::HttpServer server(
+      "127.0.0.1", 0,
+      [&service](const serve::HttpRequest& req, serve::HttpResponse& resp) {
+        service.handle(req, resp);
+      },
+      clients + 2);
+
+  std::vector<Phase> phases;
+  // Cold: C clients race the SAME grid. Every cell simulates exactly once;
+  // the other C-1 submissions of it coalesce or hit the warm store.
+  phases.push_back(run_phase("cold_contended", server.port(), clients, 1,
+                             "/v1/runs?wait=1", scenario, cells, service));
+  // Warm: the full grid replays from the store, zero simulation.
+  phases.push_back(run_phase("warm_replay", server.port(), clients, 2,
+                             "/v1/runs?wait=1", scenario, cells, service));
+  // Control-plane turnaround: tiny GETs through the same socket path.
+  phases.push_back(run_phase("healthz", server.port(), clients,
+                             fast ? 20 : 100, "/healthz", "", 0, service));
+
+  const config::JobRunner::Stats total = service.runner().stats();
+  std::printf("serve_load: %llu submitted, %llu simulated, %llu cached, "
+              "%llu coalesced\n",
+              static_cast<unsigned long long>(total.submitted),
+              static_cast<unsigned long long>(total.simulated),
+              static_cast<unsigned long long>(total.cache_hits),
+              static_cast<unsigned long long>(total.coalesced));
+  bool ok = true;
+  if (total.simulated != cells) {
+    std::fprintf(stderr,
+                 "serve_load: FAIL — expected exactly %zu simulations, "
+                 "got %llu (dedup broken)\n",
+                 cells, static_cast<unsigned long long>(total.simulated));
+    ok = false;
+  }
+
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench"); j.value("serve_load");
+  j.key("fast"); j.value(fast);
+  j.key("code_version"); j.value(config::kCodeVersion);
+  j.key("grid");
+  j.begin_object();
+  j.key("n"); j.value(n);
+  j.key("rounds"); j.value(rounds);
+  j.key("cells"); j.value(cells);
+  j.end_object();
+  j.key("cases");
+  j.begin_array();
+  for (const Phase& p : phases) write_phase(j, p);
+  j.end_array();
+  j.end_object();
+  std::ofstream out("BENCH_serve.json");
+  out << j.str() << "\n";
+  std::printf("wrote BENCH_serve.json (%zu phases)\n", phases.size());
+  return ok ? 0 : 1;
+}

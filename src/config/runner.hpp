@@ -4,6 +4,7 @@
 // per-seed trace digests for golden comparisons.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -33,15 +34,51 @@ struct RunManifest {
 /// Replication fan-out is per cell, so any ExecPolicy reproduces the serial
 /// results bit-identically. `progress` (may be null) is invoked with each
 /// cell's label before it runs.
+///
+/// Since the job API landed (config/jobs.hpp) this is a thin compatibility
+/// wrapper: it plans each cell and awaits it on a single-worker JobRunner
+/// with no ResultStore, which is bit-identical to the historical loop.
 RunManifest run_grid(const std::vector<SweepCell>& cells,
                      const ExecPolicy& exec = ExecPolicy::serial(),
                      void (*progress)(const SweepCell&, std::size_t index,
                                       std::size_t total) = nullptr);
 
-/// BENCH-style JSON: {name, description, cells:[{label, bindings, config,
-/// metrics{...mean/ci95 pairs}, digests}]}. The config echo is emitted with
-/// write_experiment, so parsing it back yields cell.config exactly.
+/// Runs one cell under `exec` — the unit the job layer schedules. When
+/// `cancel` is non-null and `exec` is serial, it is checked between seed
+/// replications; observing it abandons the cell by throwing (the job layer
+/// maps that to JobState::kCancelled, and nothing reaches any cache).
+CellResult run_cell(const SweepCell& cell,
+                    const ExecPolicy& exec = ExecPolicy::serial(),
+                    const std::atomic<bool>* cancel = nullptr);
+
+/// BENCH-style JSON: {schema_version, name, description, cells:[{label,
+/// bindings, protocol, metrics{...}, digests, config}]}. The config echo is
+/// emitted with write_experiment and every metric carries its full Welford
+/// state (count/mean/m2/min/max, plus the derived ci95), so
+/// manifest_from_json(manifest_to_json(m)) reproduces `m` exactly.
 std::string manifest_to_json(const RunManifest& m);
+
+/// Strict inverse of manifest_to_json, built on the same path-qualified
+/// ConfigError machinery as the scenario schema: unknown keys, wrong types
+/// and malformed stats are rejected with their dotted location, and a
+/// schema_version newer than kManifestSchemaVersion fails with a
+/// ConfigError at "schema_version" (an old binary must never silently
+/// misread a future manifest).
+RunManifest manifest_from_json(const std::string& text);
+
+/// One cell as a standalone schema-versioned record — the ResultStore's
+/// on-disk format: {schema_version, code_version, key, label, bindings,
+/// protocol, metrics, digests, config}.
+std::string cell_record_to_json(const CellResult& c, const std::string& key,
+                                const std::string& code_version);
+
+/// Strict inverse of cell_record_to_json. Throws ConfigError on anything
+/// malformed, on a future schema_version, and on a record whose key or
+/// code_version differs from the expected values (a store directory shared
+/// across incompatible builds must read as a miss, not as wrong results).
+CellResult cell_record_from_json(const std::string& text,
+                                 const std::string& expect_key,
+                                 const std::string& expect_code_version);
 
 /// One header + one row per cell: label columns, then mean metrics.
 std::string manifest_to_csv(const RunManifest& m);

@@ -7,154 +7,21 @@
 #include <utility>
 #include <vector>
 
+#include "config/reader.hpp"
 #include "sim/protocols/registry.hpp"
 
 namespace qlec::config {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-/// Largest integer a JSON double carries exactly.
-constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
-
-std::string join(const std::string& path, const std::string& key) {
-  return path.empty() ? key : path + "." + key;
-}
-
-std::string fmt_num(double d) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%g", d);
-  return buf;
-}
-
-/// Short rendering of an unexpected value for "got ..." error tails.
-std::string describe(const JsonValue& v) {
-  switch (v.kind()) {
-    case JsonValue::Kind::kNull: return "null";
-    case JsonValue::Kind::kBool: return v.as_bool() ? "true" : "false";
-    case JsonValue::Kind::kNumber: return fmt_num(v.as_double());
-    case JsonValue::Kind::kString: {
-      std::string s = v.as_string();
-      if (s.size() > 40) s = s.substr(0, 37) + "...";
-      return '"' + s + '"';
-    }
-    case JsonValue::Kind::kArray: return "array";
-    case JsonValue::Kind::kObject: return "object";
-  }
-  return "?";
-}
-
-std::string bounds_text(double lo, double hi, bool lo_open) {
-  if (lo == -kInf && hi == kInf) return "finite number";
-  if (hi == kInf)
-    return std::string("number ") + (lo_open ? "> " : "≥ ") + fmt_num(lo);
-  return "number in [" + fmt_num(lo) + ", " + fmt_num(hi) + "]";
-}
-
-/// One object scope: rejects non-objects and duplicate keys up front, hands
-/// out members while tracking which keys were consumed, and rejects the
-/// leftovers (unknown keys) in finish().
-class ObjectReader {
- public:
-  ObjectReader(const JsonValue& v, std::string path)
-      : v_(v), path_(std::move(path)) {
-    if (!v_.is_object())
-      throw ConfigError(path_, "expected object, got " + describe(v_));
-    std::set<std::string> seen;
-    for (const auto& [k, unused] : v_.members()) {
-      (void)unused;
-      if (!seen.insert(k).second)
-        throw ConfigError(join(path_, k), "duplicate key");
-    }
-  }
-
-  /// Marks `key` consumed; nullptr when absent (field keeps its default).
-  const JsonValue* find(const std::string& key) {
-    consumed_.insert(key);
-    return v_.get(key);
-  }
-
-  std::string sub(const std::string& key) const { return join(path_, key); }
-  const std::string& path() const noexcept { return path_; }
-
-  /// Call after reading every known key: any member left over is unknown.
-  void finish() const {
-    for (const auto& [k, unused] : v_.members()) {
-      (void)unused;
-      if (consumed_.count(k) == 0)
-        throw ConfigError(join(path_, k), "unknown key");
-    }
-  }
-
-  // -- typed leaf readers; absent keys leave `out` untouched --
-
-  void number(const std::string& key, double& out, double lo = -kInf,
-              double hi = kInf, bool lo_open = false) {
-    const JsonValue* j = find(key);
-    if (j == nullptr) return;
-    const double d = j->as_double();
-    if (!j->is_number() || !std::isfinite(d) || d < lo || d > hi ||
-        (lo_open && d <= lo))
-      throw ConfigError(sub(key), "expected " + bounds_text(lo, hi, lo_open) +
-                                      ", got " + describe(*j));
-    out = d;
-  }
-
-  /// Exact integer in [lo, hi]; 7.5 or 1e300 are type errors here.
-  long long integer(const std::string& key, long long cur, long long lo,
-                    long long hi = std::numeric_limits<long long>::max()) {
-    const JsonValue* j = find(key);
-    if (j == nullptr) return cur;
-    const double d = j->as_double();
-    std::string want = "integer";
-    if (lo != std::numeric_limits<long long>::min())
-      want += " ≥ " + std::to_string(lo);
-    if (!j->is_number() || !std::isfinite(d) || d != std::floor(d) ||
-        std::fabs(d) > kMaxExactInt ||
-        d < static_cast<double>(lo) || d > static_cast<double>(hi))
-      throw ConfigError(sub(key),
-                        "expected " + want + ", got " + describe(*j));
-    return static_cast<long long>(d);
-  }
-
-  void int_field(const std::string& key, int& out, long long lo) {
-    out = static_cast<int>(
-        integer(key, out, lo, std::numeric_limits<int>::max()));
-  }
-
-  void size_field(const std::string& key, std::size_t& out, long long lo) {
-    out = static_cast<std::size_t>(
-        integer(key, static_cast<long long>(out), lo));
-  }
-
-  /// Unsigned seed: any integer in [0, 2^53] (the exactly-representable
-  /// range; larger seeds would silently round through the double channel).
-  void seed_field(const std::string& key, std::uint64_t& out) {
-    out = static_cast<std::uint64_t>(
-        integer(key, static_cast<long long>(out), 0));
-  }
-
-  void boolean(const std::string& key, bool& out) {
-    const JsonValue* j = find(key);
-    if (j == nullptr) return;
-    if (!j->is_bool())
-      throw ConfigError(sub(key),
-                        "expected true or false, got " + describe(*j));
-    out = j->as_bool();
-  }
-
-  void string_field(const std::string& key, std::string& out) {
-    const JsonValue* j = find(key);
-    if (j == nullptr) return;
-    if (!j->is_string())
-      throw ConfigError(sub(key), "expected string, got " + describe(*j));
-    out = j->as_string();
-  }
-
- private:
-  const JsonValue& v_;
-  std::string path_;
-  std::set<std::string> consumed_;
-};
+// Strict-reading machinery (ObjectReader, describe, ...) lives in
+// config/reader.hpp since the manifest parser shares it.
+using detail::ObjectReader;
+using detail::bounds_text;
+using detail::describe;
+using detail::fmt_num;
+using detail::join;
+using detail::kInf;
+using detail::kMaxExactInt;
 
 // ---- enum tables ----
 

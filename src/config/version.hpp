@@ -1,0 +1,22 @@
+// Version constants for the serialized result formats and the cache key.
+//
+// kManifestSchemaVersion stamps every manifest / cached-cell document this
+// repo writes ("schema_version"). manifest_from_json accepts documents up to
+// and including this version and rejects anything newer with a
+// path-qualified ConfigError — an old binary must never silently misread a
+// future manifest (DESIGN.md §13).
+//
+// kCodeVersion names the simulation semantics. It is folded into every
+// content-addressed job key (config/jobs.hpp), so a ResultStore written by
+// one build is only reused by builds whose trajectories are bit-identical.
+// Bump it whenever a change moves any golden digest (protocol logic, RNG
+// streams, radio model, ...); schema-only or tooling changes keep it.
+#pragma once
+
+namespace qlec::config {
+
+inline constexpr int kManifestSchemaVersion = 1;
+
+inline constexpr const char* kCodeVersion = "qlec-sim-2026.08";
+
+}  // namespace qlec::config

@@ -15,6 +15,11 @@
 //                            hazard rate in the resilience sweep
 //   QLEC_RUN_JOBS=<n>        qlec_run seed fan-out width (0/unset = serial;
 //                            --jobs/--serial override)
+//   QLEC_SERVE_CACHE=<dir>   default ResultStore directory for qlec_serve
+//                            and qlec_run --serve-cache (unset = no disk
+//                            cache)
+//   QLEC_SERVE_WORKERS=<n>   default scheduler width for qlec_serve
+//                            (0/unset = hardware concurrency)
 //   QLEC_SIMD=<backend>      force a qlec::simd kernel backend
 //                            (scalar|sse2|avx2|auto); parsed by
 //                            util/simd.cpp, falls back to the best
@@ -103,6 +108,16 @@ inline bool telemetry_verbose() { return flag("QLEC_TELEMETRY_VERBOSE"); }
 /// serial, the safe default; explicit --jobs/--serial flags win).
 inline std::size_t run_jobs() {
   return static_cast<std::size_t>(positive_int("QLEC_RUN_JOBS", 0));
+}
+
+/// QLEC_SERVE_CACHE: default ResultStore directory for qlec_serve and
+/// qlec_run --serve-cache ("" = no disk cache; the flags win).
+inline std::string serve_cache() { return str("QLEC_SERVE_CACHE"); }
+
+/// QLEC_SERVE_WORKERS: default scheduler width for qlec_serve (0 =
+/// hardware concurrency; --workers wins).
+inline std::size_t serve_workers() {
+  return static_cast<std::size_t>(positive_int("QLEC_SERVE_WORKERS", 0));
 }
 
 /// QLEC_FAULT_INTENSITY: multiplier applied to every hazard rate in the

@@ -28,6 +28,17 @@ class RunningStats {
   /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
   double cv() const noexcept;
 
+  /// Welford second central moment (sum of squared deviations). Together
+  /// with count/mean/min/max this is the full accumulator state, which is
+  /// what lets a serialized RunningStats round-trip exactly.
+  double m2() const noexcept { return n_ ? m2_ : 0.0; }
+
+  /// Reconstructs an accumulator from its serialized state — the inverse of
+  /// reading {count, mean, m2, min, max}. `from_moments(s.count(), s.mean(),
+  /// s.m2(), s.min(), s.max())` compares identical to `s` for every method.
+  static RunningStats from_moments(std::size_t count, double mean, double m2,
+                                   double min, double max) noexcept;
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -1,0 +1,207 @@
+// The qlec_serve stack end to end, in process: HTTP framing, the
+// JobService REST surface (validation errors, run lifecycle, manifests,
+// cancellation), and the second-submission cache guarantee — all over a
+// real loopback socket on an ephemeral port.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "config/runner.hpp"
+#include "config/version.hpp"
+#include "serve/client.hpp"
+#include "serve/http.hpp"
+
+namespace qlec::serve {
+namespace {
+
+const char* kTinyScenario = R"({
+  "name": "serve-tiny",
+  "scenario": {"n": 16},
+  "sim": {"rounds": 2, "slots_per_round": 4, "trace": {"record": true}},
+  "seeds": 1,
+  "sweep": {"protocol.name": ["leach", "direct"]}
+})";
+
+/// One server + service per fixture, torn down after each test.
+class ServeTest : public ::testing::Test {
+ protected:
+  ServeTest()
+      : service_(ServiceOptions{/*workers=*/2, /*cache_dir=*/"",
+                                /*telemetry_dir=*/"", /*max_cells=*/100}),
+        server_("127.0.0.1", 0,
+                [this](const HttpRequest& req, HttpResponse& resp) {
+                  service_.handle(req, resp);
+                }) {}
+
+  ClientResponse roundtrip(const std::string& method,
+                           const std::string& target,
+                           const std::string& body = "") {
+    std::string error;
+    auto resp =
+        http_request("127.0.0.1", server_.port(), method, target, body,
+                     &error);
+    EXPECT_TRUE(resp.has_value()) << error;
+    return resp.value_or(ClientResponse{});
+  }
+
+  JobService service_;
+  HttpServer server_;
+};
+
+TEST(HttpParsing, RequestLineAndHeaders) {
+  HttpRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_http_request(
+      "POST /v1/runs?wait=1&priority=3 HTTP/1.1\r\n"
+      "Host: x\r\nContent-Type:  application/json \r\n\r\nbody",
+      req, &error))
+      << error;
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.path, "/v1/runs");
+  EXPECT_EQ(req.query.at("wait"), "1");
+  EXPECT_EQ(req.query.at("priority"), "3");
+  EXPECT_EQ(req.headers.at("content-type"), "application/json");
+  EXPECT_EQ(req.body, "body");
+}
+
+TEST(HttpParsing, RejectsMalformedRequests) {
+  HttpRequest req;
+  EXPECT_FALSE(parse_http_request("GET /\r\n\r\n", req, nullptr));
+  EXPECT_FALSE(parse_http_request("GET / SPDY/3\r\n\r\n", req, nullptr));
+  EXPECT_FALSE(parse_http_request("GET noslash HTTP/1.1\r\n\r\n", req,
+                                  nullptr));
+  EXPECT_FALSE(parse_http_request(
+      "GET / HTTP/1.1\r\nbroken header line\r\n\r\n", req, nullptr));
+}
+
+TEST(HttpParsing, UrlSplitting) {
+  std::string host, path;
+  std::uint16_t port = 0;
+  ASSERT_TRUE(parse_http_url("http://127.0.0.1:8423/v1/runs", host, port,
+                             path));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8423);
+  EXPECT_EQ(path, "/v1/runs");
+  ASSERT_TRUE(parse_http_url("http://10.0.0.1", host, port, path));
+  EXPECT_EQ(port, 80);
+  EXPECT_EQ(path, "/");
+  EXPECT_FALSE(parse_http_url("https://127.0.0.1/", host, port, path));
+  EXPECT_FALSE(parse_http_url("http://:99/", host, port, path));
+  EXPECT_FALSE(parse_http_url("http://1.2.3.4:99999/", host, port, path));
+}
+
+TEST_F(ServeTest, HealthzReportsVersions) {
+  const ClientResponse r = roundtrip("GET", "/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(r.body.find(config::kCodeVersion), std::string::npos);
+}
+
+TEST_F(ServeTest, UnknownEndpointsAndMethods) {
+  EXPECT_EQ(roundtrip("GET", "/nope").status, 404);
+  EXPECT_EQ(roundtrip("GET", "/v1/runs/r999").status, 404);
+  EXPECT_EQ(roundtrip("DELETE", "/healthz").status, 405);
+  EXPECT_EQ(roundtrip("GET", "/v1/runs").status, 405);
+}
+
+TEST_F(ServeTest, InvalidScenarioIsA400WithPath) {
+  const ClientResponse r = roundtrip(
+      "POST", "/v1/runs", R"({"scenario": {"n": -4}})");
+  EXPECT_EQ(r.status, 400);
+  // The strict schema's dotted path must surface to the client.
+  EXPECT_NE(r.body.find("scenario.n"), std::string::npos);
+  const ClientResponse bad_json = roundtrip("POST", "/v1/runs", "{nope");
+  EXPECT_EQ(bad_json.status, 400);
+}
+
+TEST_F(ServeTest, OversizedGridIsRejected) {
+  const ClientResponse r = roundtrip("POST", "/v1/runs", R"({
+    "scenario": {"n": 16},
+    "sweep": {"scenario.n": [16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+                             26, 27, 28, 29, 30, 31, 32, 33, 34, 35],
+              "sim.rounds": [1, 2, 3, 4, 5, 6],
+              "base_seed": [1, 2]}
+  })");
+  EXPECT_EQ(r.status, 400);  // 20*6*2 = 240 cells > max_cells=100
+  EXPECT_NE(r.body.find("240 cells"), std::string::npos);
+}
+
+TEST_F(ServeTest, WaitedRunReturnsAStrictManifest) {
+  const ClientResponse r =
+      roundtrip("POST", "/v1/runs?wait=1", kTinyScenario);
+  ASSERT_EQ(r.status, 200) << r.body;
+  const config::RunManifest m = config::manifest_from_json(r.body);
+  EXPECT_EQ(m.name, "serve-tiny");
+  ASSERT_EQ(m.cells.size(), 2u);
+  EXPECT_EQ(m.cells[0].config.protocol.name, "leach");
+  EXPECT_EQ(m.cells[0].digests.size(), 1u);
+}
+
+TEST_F(ServeTest, RunLifecycleAndSecondSubmissionIsAllCache) {
+  const ClientResponse first =
+      roundtrip("POST", "/v1/runs", kTinyScenario);
+  ASSERT_EQ(first.status, 202) << first.body;
+  ASSERT_NE(first.body.find("\"run_id\":\"r1\""), std::string::npos)
+      << first.body;
+
+  // wait=1 on the identical scenario: coalesces or hits cache, never
+  // re-simulates.
+  const ClientResponse second =
+      roundtrip("POST", "/v1/runs?wait=1", kTinyScenario);
+  ASSERT_EQ(second.status, 200);
+  const config::RunManifest m2 = config::manifest_from_json(second.body);
+
+  // First run is now complete too (same jobs); its manifest must be
+  // byte-identical — same cells, same digests, straight from the store.
+  const ClientResponse m1 = roundtrip("GET", "/v1/runs/r1/manifest");
+  ASSERT_EQ(m1.status, 200);
+  EXPECT_EQ(m1.body, second.body);
+
+  const ClientResponse status = roundtrip("GET", "/v1/runs/r1");
+  ASSERT_EQ(status.status, 200);
+  EXPECT_NE(status.body.find("\"state\":\"done\""), std::string::npos);
+
+  // Exactly 2 simulations total across both submissions.
+  const ClientResponse stats = roundtrip("GET", "/stats");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"simulated\":2"), std::string::npos)
+      << stats.body;
+  (void)m2;
+}
+
+TEST_F(ServeTest, CancelledRunHasNoManifest) {
+  // Saturate both workers AND leave a high-priority backlog, so the victim
+  // (priority 0) cannot start until at least four heavier cells finish —
+  // the cancel request arrives long before that.
+  const char* kSlow = R"({
+    "scenario": {"n": 120},
+    "sim": {"rounds": 40, "slots_per_round": 10},
+    "seeds": 2,
+    "protocol": {"name": "qlec"},
+    "sweep": {"base_seed": [1, 2, 3, 4]}
+  })";
+  const ClientResponse slow = roundtrip("POST", "/v1/runs?priority=9", kSlow);
+  ASSERT_EQ(slow.status, 202);
+  const ClientResponse queued = roundtrip("POST", "/v1/runs", R"({
+    "scenario": {"n": 16},
+    "sim": {"rounds": 2, "slots_per_round": 4},
+    "seeds": 1,
+    "sweep": {"protocol.name": ["heed"]}
+  })");
+  ASSERT_EQ(queued.status, 202);
+
+  const ClientResponse cancel = roundtrip("POST", "/v1/runs/r2/cancel");
+  ASSERT_EQ(cancel.status, 200);
+  EXPECT_NE(cancel.body.find("\"cancelled\":1"), std::string::npos)
+      << cancel.body;
+  const ClientResponse manifest = roundtrip("GET", "/v1/runs/r2/manifest");
+  EXPECT_EQ(manifest.status, 409);
+  const ClientResponse status = roundtrip("GET", "/v1/runs/r2");
+  EXPECT_NE(status.body.find("\"state\":\"cancelled\""), std::string::npos)
+      << status.body;
+}
+
+}  // namespace
+}  // namespace qlec::serve
