@@ -38,6 +38,9 @@ inline ExperimentConfig paper_config(double lambda) {
   cfg.sim.death_line = -1.0;  // §5.1: death line lowered for PDR/energy runs
   cfg.seeds = seeds();
   cfg.protocol.qlec.total_rounds = cfg.sim.rounds;
+  // QLEC_MAC=1 swaps every bench onto the contention-aware MAC sub-phase
+  // (DESIGN.md §14) without touching the bench code.
+  cfg.sim.mac.enabled = env::mac();
   return cfg;
 }
 

@@ -254,6 +254,19 @@ void write_sim(JsonWriter& w, const SimConfig& s) {
   w.end_object();
   w.key("fault"); write_fault(w, s.fault);
   w.key("telemetry"); write_telemetry(w, s.telemetry);
+  w.key("mac");
+  w.begin_object();
+  w.key("enabled"); w.value(s.mac.enabled);
+  w.key("seed"); w.value(static_cast<unsigned long long>(s.mac.seed));
+  w.key("airtime_subslots"); w.value(s.mac.airtime_subslots);
+  w.key("cca_range"); w.value(s.mac.cca_range);
+  w.key("capture_ratio"); w.value(s.mac.capture_ratio);
+  w.key("max_retries"); w.value(s.mac.max_retries);
+  w.key("cw_min"); w.value(s.mac.cw_min);
+  w.key("cw_max"); w.value(s.mac.cw_max);
+  w.key("duty_cycle"); w.value(s.mac.duty_cycle);
+  w.key("idle_j_per_subslot"); w.value(s.mac.idle_j_per_subslot);
+  w.end_object();
   w.key("exec");
   w.begin_object();
   w.key("shards"); w.value(s.exec.shards);
@@ -472,6 +485,22 @@ SimConfig read_sim(const JsonValue& v, const std::string& path,
     out.fault = read_fault(*j, r.sub("fault"), out.fault);
   if (const JsonValue* j = r.find("telemetry"))
     out.telemetry = read_telemetry(*j, r.sub("telemetry"), out.telemetry);
+  if (const JsonValue* j = r.find("mac")) {
+    ObjectReader m(*j, r.sub("mac"));
+    m.boolean("enabled", out.mac.enabled);
+    m.seed_field("seed", out.mac.seed);
+    m.int_field("airtime_subslots", out.mac.airtime_subslots, 1);
+    m.number("cca_range", out.mac.cca_range, 0.0, kInf, /*lo_open=*/true);
+    // A capture ratio below 1 would let a frame "capture" over interferers
+    // louder than itself.
+    m.number("capture_ratio", out.mac.capture_ratio, 1.0);
+    m.int_field("max_retries", out.mac.max_retries, 0);
+    m.int_field("cw_min", out.mac.cw_min, 1);
+    m.int_field("cw_max", out.mac.cw_max, 1);
+    m.number("duty_cycle", out.mac.duty_cycle, 0.0, 1.0, /*lo_open=*/true);
+    m.number("idle_j_per_subslot", out.mac.idle_j_per_subslot, 0.0);
+    m.finish();
+  }
   if (const JsonValue* j = r.find("exec")) {
     ObjectReader e(*j, r.sub("exec"));
     e.int_field("shards", out.exec.shards, 1);

@@ -13,6 +13,7 @@ const char* energy_use_name(EnergyUse u) {
     case EnergyUse::kControl: return "ctl";
     case EnergyUse::kIdle: return "idle";
     case EnergyUse::kFault: return "fault";
+    case EnergyUse::kMac: return "mac";
     case EnergyUse::kCount_: break;
   }
   return "?";
@@ -69,10 +70,11 @@ std::string EnergyLedger::summary() const {
   char buf[200];
   std::snprintf(buf, sizeof buf,
                 "tx=%.6g rx=%.6g agg=%.6g ctl=%.6g idle=%.6g fault=%.6g "
-                "total=%.6g J",
+                "mac=%.6g total=%.6g J",
                 by_use(EnergyUse::kTransmit), by_use(EnergyUse::kReceive),
                 by_use(EnergyUse::kAggregate), by_use(EnergyUse::kControl),
-                by_use(EnergyUse::kIdle), by_use(EnergyUse::kFault), total());
+                by_use(EnergyUse::kIdle), by_use(EnergyUse::kFault),
+                by_use(EnergyUse::kMac), total());
   return buf;
 }
 

@@ -17,6 +17,8 @@ enum class EnergyUse : int {
   kControl,  // HELLO broadcasts / cluster management overhead
   kIdle,     // idle-listening drain while awake with nothing to do
   kFault,    // battery-capacity fade injected by the fault layer (sim/fault)
+  kMac,      // MAC-layer overhead when sim.mac is enabled: retransmissions
+             // plus duty-cycle listening on the contention timeline
   kCount_,
 };
 

@@ -1,0 +1,261 @@
+#include "sim/mac/engine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "geom/spatial_grid.hpp"
+
+namespace qlec {
+
+const char* mac_loss_cause_name(MacLossCause c) noexcept {
+  switch (c) {
+    case MacLossCause::kNone: return "none";
+    case MacLossCause::kCollision: return "collision";
+    case MacLossCause::kChannel: return "channel";
+    case MacLossCause::kOverflow: return "overflow";
+    case MacLossCause::kTargetDown: return "target_down";
+    case MacLossCause::kSenderDown: return "sender_down";
+  }
+  return "?";
+}
+
+MacCounters& MacCounters::operator+=(const MacCounters& o) noexcept {
+  tx_attempts += o.tx_attempts;
+  retransmits += o.retransmits;
+  collisions += o.collisions;
+  capture_wins += o.capture_wins;
+  cca_busy += o.cca_busy;
+  backoff_subslots += o.backoff_subslots;
+  subslots += o.subslots;
+  drop_collision += o.drop_collision;
+  drop_channel += o.drop_channel;
+  drop_overflow += o.drop_overflow;
+  drop_target_down += o.drop_target_down;
+  drop_sender_down += o.drop_sender_down;
+  return *this;
+}
+
+MacCounters MacCounters::minus(const MacCounters& o) const noexcept {
+  MacCounters d;
+  d.tx_attempts = tx_attempts - o.tx_attempts;
+  d.retransmits = retransmits - o.retransmits;
+  d.collisions = collisions - o.collisions;
+  d.capture_wins = capture_wins - o.capture_wins;
+  d.cca_busy = cca_busy - o.cca_busy;
+  d.backoff_subslots = backoff_subslots - o.backoff_subslots;
+  d.subslots = subslots - o.subslots;
+  d.drop_collision = drop_collision - o.drop_collision;
+  d.drop_channel = drop_channel - o.drop_channel;
+  d.drop_overflow = drop_overflow - o.drop_overflow;
+  d.drop_target_down = drop_target_down - o.drop_target_down;
+  d.drop_sender_down = drop_sender_down - o.drop_sender_down;
+  return d;
+}
+
+namespace {
+
+/// Received-power proxy for the capture comparison: inverse-square with a
+/// 1 m near-field clamp. Only ratios matter, so units are arbitrary.
+double rx_power(const Vec3& tx, const Vec3& rx) noexcept {
+  const double d = std::max(distance(tx, rx), 1.0);
+  return 1.0 / (d * d);
+}
+
+}  // namespace
+
+std::int64_t MacEngine::cw(int retry) const noexcept {
+  // Binary-exponential window: cw_min << retry, capped at cw_max (a cw_max
+  // below cw_min simply pins the window at cw_max).
+  std::int64_t w = cfg_.cw_min;
+  for (int k = 0; k < retry && w < cfg_.cw_max; ++k) w <<= 1;
+  return std::min<std::int64_t>(w, cfg_.cw_max);
+}
+
+void MacEngine::push(EventHeap& heap, std::int64_t t, int kind,
+                     std::uint32_t idx) {
+  heap.push(Event{t, kind, seq_++, idx});
+}
+
+void MacEngine::schedule_backoff(EventHeap& heap, std::uint32_t i,
+                                 std::int64_t t, int retry) {
+  const std::int64_t delay =
+      1 + static_cast<std::int64_t>(
+              rng_.uniform_int(static_cast<std::uint64_t>(cw(retry))));
+  totals_.backoff_subslots += static_cast<std::uint64_t>(delay);
+  push(heap, t + delay, /*kind=*/1, i);
+}
+
+void MacEngine::resolve(std::vector<MacFrame>& frames, MacHost& host) {
+  last_subslots_ = 0;
+  if (frames.empty()) return;
+  const std::size_t m = frames.size();
+  const std::int64_t air = cfg_.airtime_subslots;
+
+  retries_.assign(m, 0);
+  in_flight_.assign(m, 0);
+  next_of_src_.assign(m, -1);
+  if (intervals_.size() < m) intervals_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) intervals_[i].clear();
+  sender_pos_.clear();
+  sender_pos_.reserve(m);
+  for (const MacFrame& f : frames) sender_pos_.push_back(f.src_pos);
+  const SpatialGrid grid(sender_pos_, cfg_.cca_range);
+
+  // A radio transmits one frame at a time: frames sharing a sender form a
+  // FIFO chain in batch order, and only the chain head contends.
+  std::vector<std::uint32_t> chain_heads;
+  {
+    std::unordered_map<int, std::uint32_t> last_of;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const auto [it, fresh] = last_of.try_emplace(frames[i].src, i);
+      if (fresh) {
+        chain_heads.push_back(i);
+      } else {
+        next_of_src_[it->second] = static_cast<std::int32_t>(i);
+        it->second = i;
+      }
+    }
+  }
+
+  EventHeap heap;
+  seq_ = 0;
+  // Initial contention-window randomization, drawn in batch order so the
+  // stream consumption is a pure function of the batch.
+  for (const std::uint32_t i : chain_heads) {
+    const std::int64_t t0 = static_cast<std::int64_t>(
+        rng_.uniform_int(static_cast<std::uint64_t>(cw(0))));
+    totals_.backoff_subslots += static_cast<std::uint64_t>(t0);
+    push(heap, t0, /*kind=*/1, i);
+  }
+
+  std::int64_t horizon = 0;
+  const auto finish = [&](std::uint32_t i, std::int64_t t) {
+    const std::int32_t next = next_of_src_[i];
+    if (next >= 0) {
+      // Successor frame of the same sender starts its own contention cycle
+      // one subslot after the predecessor resolved.
+      const std::int64_t t0 =
+          t + 1 +
+          static_cast<std::int64_t>(
+              rng_.uniform_int(static_cast<std::uint64_t>(cw(0))));
+      totals_.backoff_subslots += static_cast<std::uint64_t>(t0 - t - 1);
+      push(heap, t0, /*kind=*/1, static_cast<std::uint32_t>(next));
+    }
+  };
+  const auto drop = [&](std::uint32_t i, MacLossCause cause, std::int64_t t) {
+    MacFrame& f = frames[i];
+    f.loss = cause;
+    switch (cause) {
+      case MacLossCause::kCollision: ++totals_.drop_collision; break;
+      case MacLossCause::kChannel: ++totals_.drop_channel; break;
+      case MacLossCause::kOverflow: ++totals_.drop_overflow; break;
+      case MacLossCause::kTargetDown: ++totals_.drop_target_down; break;
+      case MacLossCause::kSenderDown: ++totals_.drop_sender_down; break;
+      case MacLossCause::kNone: break;
+    }
+    host.on_drop(f, cause);
+    finish(i, t);
+  };
+  // A failed attempt the sender observes: NACK feedback, then either a
+  // backoff reschedule or the terminal drop.
+  const auto nack = [&](std::uint32_t i, MacLossCause cause, std::int64_t t) {
+    host.on_feedback(frames[i], false);
+    if (++retries_[i] > cfg_.max_retries) {
+      drop(i, cause, t);
+    } else {
+      schedule_backoff(heap, i, t, retries_[i]);
+    }
+  };
+
+  while (!heap.empty()) {
+    const Event ev = heap.top();
+    heap.pop();
+    horizon = std::max(horizon, ev.t);
+    const std::uint32_t i = ev.idx;
+    MacFrame& f = frames[i];
+    if (ev.kind == 1) {
+      // Attempt start. Eligibility first: a sender that crashed, was
+      // stunned, or drained its battery mid-backoff drops its pending
+      // frame here, uncharged (audit invariant d2 depends on this).
+      if (!host.sender_up(f)) {
+        drop(i, MacLossCause::kSenderDown, ev.t);
+        continue;
+      }
+      // CCA: defer while any in-flight sender is audible at this sender.
+      bool busy = false;
+      grid.query_into(f.src_pos, cfg_.cca_range, query_scratch_);
+      for (const std::size_t j : query_scratch_) {
+        if (j != i && in_flight_[j] != 0) {
+          busy = true;
+          break;
+        }
+      }
+      if (busy) {
+        ++totals_.cca_busy;
+        if (++retries_[i] > cfg_.max_retries) {
+          // Never got on the air this time, but the saga is over: the
+          // upper layer observes the missing ACK.
+          host.on_feedback(f, false);
+          drop(i, MacLossCause::kCollision, ev.t);
+        } else {
+          schedule_backoff(heap, i, ev.t, retries_[i]);
+        }
+        continue;
+      }
+      ++totals_.tx_attempts;
+      if (f.attempts > 0) ++totals_.retransmits;
+      host.on_attempt(f, f.attempts);
+      ++f.attempts;
+      in_flight_[i] = 1;
+      intervals_[i].emplace_back(ev.t, ev.t + air);
+      push(heap, ev.t + air, /*kind=*/0, i);
+      continue;
+    }
+
+    // Frame end: resolve the reception.
+    in_flight_[i] = 0;
+    const std::int64_t start = ev.t - air;
+    if (!host.target_listening(f)) {
+      // Mirrors the ideal path's down-receiver semantics: no channel draw —
+      // the receiver simply is not listening, the sender sees no ACK.
+      nack(i, MacLossCause::kTargetDown, ev.t);
+      continue;
+    }
+    // Receiver-side interference: every overlapping on-air interval whose
+    // sender is audible at this frame's receiver contributes power.
+    double interference = 0.0;
+    grid.query_into(f.dst_pos, cfg_.cca_range, query_scratch_);
+    for (const std::size_t j : query_scratch_) {
+      if (j == i) continue;
+      const double pw = rx_power(frames[j].src_pos, f.dst_pos);
+      for (const auto& [a, b] : intervals_[j])
+        if (a < ev.t && b > start) interference += pw;
+    }
+    if (interference > 0.0) {
+      const double signal = rx_power(f.src_pos, f.dst_pos);
+      if (signal >= cfg_.capture_ratio * interference) {
+        ++totals_.capture_wins;
+      } else {
+        ++totals_.collisions;
+        nack(i, MacLossCause::kCollision, ev.t);
+        continue;
+      }
+    }
+    if (!rng_.bernoulli(f.link_p)) {
+      nack(i, MacLossCause::kChannel, ev.t);
+      continue;
+    }
+    if (!host.on_decode(f)) {
+      nack(i, MacLossCause::kOverflow, ev.t);
+      continue;
+    }
+    f.delivered = true;
+    host.on_feedback(f, true);
+    finish(i, ev.t);
+  }
+
+  last_subslots_ = horizon;
+  totals_.subslots += static_cast<std::uint64_t>(horizon);
+}
+
+}  // namespace qlec

@@ -1,0 +1,138 @@
+// Deterministic slotted-CSMA contention engine (DESIGN.md §14). The
+// simulator batches one sim-slot's transmissions into a "contention phase"
+// of MacFrames and calls resolve(): the engine plays them out on a micro-
+// slot event timeline — carrier sense within `cca_range` via a SpatialGrid
+// over the phase's sender positions, capture-threshold interference at each
+// receiver, binary-exponential backoff between retransmissions — and hands
+// every side effect (energy charges, queue pushes, ACK/NACK protocol
+// feedback, loss accounting) back through the MacHost callbacks so the
+// engine itself owns no simulation state.
+//
+// Determinism contract: the engine draws only from its own private Rng
+// stream, in event-processing order, and the event queue is totally ordered
+// by (time, end-before-start, insertion sequence) — so a resolve() is a
+// pure function of (config, seed stream position, frame batch). The batch
+// itself is built serially in canonical node order by the simulator, which
+// is what keeps MAC-enabled digests invariant to shard count and
+// ExecPolicy.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "geom/vec3.hpp"
+#include "net/packet.hpp"
+#include "sim/mac/mac.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+
+/// Why a frame was terminally dropped (after the retry budget).
+enum class MacLossCause : int {
+  kNone = 0,     ///< not dropped (delivered)
+  kCollision,    ///< contention: CCA aborts or destructive interference
+  kChannel,      ///< the lossy-link Bernoulli failed on every attempt
+  kOverflow,     ///< the receiver's cache was full on every attempt
+  kTargetDown,   ///< the receiver (or the BS) was down / not listening
+  kSenderDown,   ///< the sender went down with the frame still pending
+};
+
+const char* mac_loss_cause_name(MacLossCause c) noexcept;
+
+/// One transmission saga: a routed packet (or fused uplink aggregate) that
+/// will be attempted up to 1 + max_retries times toward a fixed target.
+/// The caller fills the routing/energy fields; the engine fills the outcome.
+struct MacFrame {
+  int src = -1;
+  int target = kBaseStationId;
+  /// Caller-side payload index (packet slot, uplink-chain slot, ...).
+  std::uint32_t tag = 0;
+  double bits = 0.0;
+  double tx_j = 0.0;    ///< sender energy per attempt (distance-resolved)
+  double link_p = 1.0;  ///< per-attempt channel success probability
+  Vec3 src_pos{};
+  Vec3 dst_pos{};
+
+  // Outcome (engine-written).
+  bool delivered = false;
+  MacLossCause loss = MacLossCause::kNone;
+  int attempts = 0;  ///< transmissions actually put on the air
+};
+
+/// Simulation-side callbacks. The engine guarantees: `on_attempt` fires
+/// once per on-air transmission (attempt index from 0) and only while
+/// `sender_up` holds; `on_decode` fires only for clean (un-collided,
+/// channel-passed) receptions at a listening target; `on_feedback` fires
+/// once per resolved attempt that the sender can observe (ACK or NACK — a
+/// sender that died mid-backoff observes nothing); `on_drop` fires once for
+/// a frame that exhausted its retries (loss accounting).
+class MacHost {
+ public:
+  virtual ~MacHost() = default;
+  virtual bool sender_up(const MacFrame& f) = 0;
+  virtual bool target_listening(const MacFrame& f) = 0;
+  virtual void on_attempt(MacFrame& f, int attempt) = 0;
+  /// Clean decode at the receiver: charge RX, accept into the cache (or
+  /// record a BS delivery). Returns false on cache overflow (NACK).
+  virtual bool on_decode(MacFrame& f) = 0;
+  virtual void on_feedback(MacFrame& f, bool ack) = 0;
+  virtual void on_drop(MacFrame& f, MacLossCause cause) = 0;
+};
+
+class MacEngine {
+ public:
+  MacEngine(const MacConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {}
+
+  /// Plays one contention phase to completion. Every frame ends either
+  /// delivered or dropped with a cause; per-frame outcome fields and the
+  /// cumulative counters are updated. Multiple frames from the same sender
+  /// are serialized (a radio transmits one frame at a time).
+  void resolve(std::vector<MacFrame>& frames, MacHost& host);
+
+  /// Cumulative counters across every phase resolved so far.
+  const MacCounters& totals() const noexcept { return totals_; }
+  /// Timeline length (subslots) of the most recent resolve(); drives the
+  /// duty-cycle idle-listening charge.
+  std::int64_t last_phase_subslots() const noexcept { return last_subslots_; }
+
+ private:
+  struct Event {
+    std::int64_t t = 0;
+    int kind = 0;  ///< 0 = frame-end, 1 = attempt-start (ends first at t)
+    std::uint64_t seq = 0;
+    std::uint32_t idx = 0;
+    friend bool operator>(const Event& a, const Event& b) noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      if (a.kind != b.kind) return a.kind > b.kind;
+      return a.seq > b.seq;
+    }
+  };
+  using EventHeap =
+      std::priority_queue<Event, std::vector<Event>, std::greater<Event>>;
+
+  std::int64_t cw(int retry) const noexcept;
+  void push(EventHeap& heap, std::int64_t t, int kind, std::uint32_t idx);
+  void schedule_backoff(EventHeap& heap, std::uint32_t i, std::int64_t t,
+                        int retry);
+
+  const MacConfig cfg_;
+  Rng rng_;  ///< private stream; persists across phases within one run
+  MacCounters totals_;
+  std::int64_t last_subslots_ = 0;
+  std::uint64_t seq_ = 0;
+
+  // Per-phase scratch (grow-only; reused across phases).
+  std::vector<int> retries_;
+  std::vector<std::uint8_t> in_flight_;
+  std::vector<std::int32_t> next_of_src_;  ///< same-sender FIFO chains
+  /// Every on-air interval per frame, for receiver-side overlap checks
+  /// (bounded by 1 + max_retries entries each).
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> intervals_;
+  std::vector<Vec3> sender_pos_;
+  std::vector<std::size_t> query_scratch_;
+};
+
+}  // namespace qlec

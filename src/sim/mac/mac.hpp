@@ -1,0 +1,99 @@
+// Configuration and statistics for the optional slotted-CSMA MAC/PHY
+// sub-phase (DESIGN.md §14). When `MacConfig::enabled` is false (the
+// default) the subsystem is never constructed, no Rng draw happens, and the
+// simulation — including every committed golden digest — is bit-identical
+// to the pre-MAC model. When enabled, each simulator slot's transmissions
+// contend on a micro-slot ("subslot") timeline: carrier sensing within
+// `cca_range`, capture-threshold interference at the receiver, and
+// binary-exponential backoff between retransmissions, with retransmit and
+// duty-cycle listening energy landing in the EnergyUse::kMac ledger bucket.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qlec {
+
+/// Knobs for the contention-aware transmission sub-phase (`sim.mac.*` in
+/// the scenario schema; every field is sweepable via qlec_run).
+struct MacConfig {
+  /// Master switch. Disabled ⇒ the ideal per-attempt TX/RX path runs and
+  /// traces are bit-identical to a build without the subsystem.
+  bool enabled = false;
+  /// Folded (XOR) into one main-stream draw to seed the engine's private
+  /// Rng, mirroring the fault-injector discipline: the draw happens only
+  /// when enabled, and the MAC stream never advances the simulation stream.
+  std::uint64_t seed = 0;
+  /// Frame airtime in backoff micro-slots (the "slot length" knob): a
+  /// transmission occupies [t, t + airtime_subslots) on the contention
+  /// timeline, so senders that wake later can carrier-sense it.
+  int airtime_subslots = 2;  ///< >= 1
+  /// Carrier-sense / interference radius in metres: senders within this
+  /// range of each other defer (CCA busy), and concurrent frames whose
+  /// sender is within this range of a receiver interfere at that receiver.
+  double cca_range = 150.0;  ///< > 0
+  /// Capture threshold: a frame survives interference when its received
+  /// power is at least `capture_ratio` times the summed interferer power
+  /// (1 = capture whenever merely louder; larger = stricter).
+  double capture_ratio = 2.0;  ///< >= 1
+  /// Retransmissions after a failed attempt (CCA abort, collision, channel
+  /// loss, or NACK). Replaces SimConfig::max_retries on the MAC path.
+  int max_retries = 4;  ///< >= 0
+  /// Initial contention-window width in subslots; doubles per retry.
+  int cw_min = 4;  ///< >= 1
+  /// Contention-window cap for the binary-exponential backoff.
+  int cw_max = 64;  ///< >= 1
+  /// Fraction of each contention subslot a non-transmitting radio spends
+  /// listening (1 = always-on receiver, smaller = aggressive sleep).
+  double duty_cycle = 1.0;  ///< in (0, 1]
+  /// Joules one fully-awake radio burns per contention subslot of idle
+  /// listening; scaled by `duty_cycle` and charged to EnergyUse::kMac.
+  double idle_j_per_subslot = 0.0;  ///< >= 0
+
+  friend bool operator==(const MacConfig&, const MacConfig&) = default;
+};
+
+/// Cumulative MAC-layer event counters. `minus` yields per-round deltas for
+/// the MacStats::per_round rows and the telemetry counters.
+struct MacCounters {
+  std::uint64_t tx_attempts = 0;   ///< frames actually put on the air
+  std::uint64_t retransmits = 0;   ///< tx_attempts beyond each frame's first
+  std::uint64_t collisions = 0;    ///< receptions destroyed by interference
+  std::uint64_t capture_wins = 0;  ///< interfered receptions that captured
+  std::uint64_t cca_busy = 0;      ///< attempts deferred by carrier sense
+  std::uint64_t backoff_subslots = 0;  ///< total subslots spent backing off
+  std::uint64_t subslots = 0;      ///< contention-phase timeline length
+  // Terminal per-cause drop attribution (each dropped frame counts once;
+  // these refine — never replace — the lost_link/lost_queue/lost_dead
+  // packet counters on SimResult).
+  std::uint64_t drop_collision = 0;    ///< retries exhausted on contention
+  std::uint64_t drop_channel = 0;      ///< retries exhausted on channel loss
+  std::uint64_t drop_overflow = 0;     ///< retries exhausted on full caches
+  std::uint64_t drop_target_down = 0;  ///< retries exhausted on a dead/down
+                                       ///< receiver (or BS outage)
+  std::uint64_t drop_sender_down = 0;  ///< sender went down mid-backoff;
+                                       ///< pending events dropped uncharged
+
+  MacCounters& operator+=(const MacCounters& o) noexcept;
+  /// Component-wise `*this - o` (callers pass an earlier snapshot).
+  MacCounters minus(const MacCounters& o) const noexcept;
+
+  friend bool operator==(const MacCounters&, const MacCounters&) = default;
+};
+
+/// One per-round row of MAC counter deltas (not cumulative).
+struct MacRound {
+  int round = 0;
+  MacCounters c;
+};
+
+/// MAC outcome of one simulation run. Inert (enabled == false, all zeros)
+/// unless the run had `sim.mac.enabled` set.
+struct MacStats {
+  bool enabled = false;
+  MacCounters totals;
+  /// One entry per completed round (MAC-enabled runs only).
+  std::vector<MacRound> per_round;
+};
+
+}  // namespace qlec

@@ -8,6 +8,7 @@
 #include "energy/ledger.hpp"
 #include "sim/audit.hpp"
 #include "sim/fault/resilience.hpp"
+#include "sim/mac/mac.hpp"
 #include "util/stats.hpp"
 
 namespace qlec {
@@ -71,6 +72,11 @@ struct SimResult {
   /// recovery time when SimConfig::fault is enabled (inert otherwise). See
   /// sim/fault/resilience.hpp.
   ResilienceStats resilience;
+
+  /// MAC-layer contention counters (collisions, retransmits, backoff,
+  /// capture wins, per-cause drops) with per-round rows when
+  /// SimConfig::mac is enabled (inert otherwise). See sim/mac/mac.hpp.
+  MacStats mac;
 };
 
 /// Canonical 64-bit FNV-1a digest of a RoundStats trace. Hashes every field

@@ -12,6 +12,7 @@
 #include "net/traffic.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/audit.hpp"
+#include "sim/mac/engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qlec {
@@ -71,6 +72,15 @@ class SimRun {
       fault_.emplace(cfg.fault, n, cfg.death_line,
                      rng.next_u64() ^ cfg.fault.seed);
       result_.resilience.enabled = true;
+    }
+    if (cfg.mac.enabled) {
+      // Same RNG-stream discipline as the fault injector: exactly one
+      // main-stream draw folds into the MAC seed, and only when the
+      // subsystem is on — disabled runs never see it, so their trajectory
+      // (and every golden digest) is untouched. The order is part of the
+      // contract: the fault draw (above) happens first when both are on.
+      mac_.emplace(cfg.mac, rng.next_u64() ^ cfg.mac.seed);
+      result_.mac.enabled = true;
     }
     if (cfg.audit.enabled) {
       result_.energy.enable_per_node(n);
@@ -176,11 +186,210 @@ class SimRun {
   };
   void deliver_aggregate(int head, HeadBuffer& buf);
 
+  // ---- Contention-aware MAC sub-phase (engaged when cfg.mac.enabled;
+  // DESIGN.md §14). deliver_from defers to a per-slot frame batch that one
+  // MacEngine::resolve call plays out; round-end uplink chains advance one
+  // hop per contention phase. ----
+
+  /// Per-attempt channel success probability toward `target` over distance
+  /// `d`, folding in any active fault link-degradation episode (the MAC
+  /// engine draws the Bernoulli from its own stream).
+  double mac_link_p(int target, double d) const {
+    double p = target == kBaseStationId
+                   ? cfg_.link.bs_success_probability(d)
+                   : cfg_.link.success_probability(d);
+    if (fault_ && fault_->link_factor() < 1.0) p *= fault_->link_factor();
+    return p;
+  }
+
+  /// Routes `p` once (main stream, canonical call order — this is what
+  /// keeps MAC digests shard-invariant) and stages the frame for this
+  /// slot's contention phase. MAC retransmissions keep the routed target:
+  /// the engine retransmits a frame, it does not re-route the packet.
+  void mac_enqueue(int src, Packet p) {
+    const int target = protocol_.route(net_, src, p.bits, rng_);
+    const double d = dist(src, target);
+    MacFrame f;
+    f.src = src;
+    f.target = target;
+    f.tag = static_cast<std::uint32_t>(mac_payload_.size());
+    f.bits = p.bits;
+    f.tx_j = radio_.tx_energy(p.bits, d);
+    f.link_p = mac_link_p(target, d);
+    f.src_pos = rs_.pos[static_cast<std::size_t>(src)];
+    f.dst_pos = target == kBaseStationId
+                    ? bs_
+                    : rs_.pos[static_cast<std::size_t>(target)];
+    ++p.hops;
+    mac_frames_.push_back(f);
+    mac_payload_.push_back(p);
+  }
+
+  /// Maps a terminal MAC drop of `count` packets onto the classic loss
+  /// counters (packet conservation) and the fault-class refinements —
+  /// mirroring the ideal path's attribution; the per-cause MAC refinement
+  /// lives in MacCounters.
+  void mac_attribute_loss(const MacFrame& f, MacLossCause cause,
+                          std::uint64_t count) {
+    switch (cause) {
+      case MacLossCause::kSenderDown:
+        result_.lost_dead += count;
+        if (fault_down(f.src))
+          result_.resilience.lost_at_down_node += count;
+        break;
+      case MacLossCause::kOverflow:
+        result_.lost_queue += count;
+        break;
+      case MacLossCause::kTargetDown:
+        result_.lost_link += count;
+        if (fault_) {
+          if (f.target == kBaseStationId && !bs_up())
+            result_.resilience.lost_to_bs_outage += count;
+          else if (f.target != kBaseStationId && fault_down(f.target))
+            result_.resilience.lost_to_down_target += count;
+        }
+        break;
+      case MacLossCause::kChannel:
+        result_.lost_link += count;
+        if (fault_ && fault_->link_factor() < 1.0)
+          result_.resilience.lost_during_degradation += count;
+        break;
+      case MacLossCause::kCollision:
+        result_.lost_link += count;
+        break;
+      case MacLossCause::kNone:
+        break;
+    }
+  }
+
+  /// Duty-cycle idle-listening drain for one contention phase: every
+  /// operational radio listens for duty_cycle of each subslot the phase
+  /// lasted. Fault-down radios are off (audit invariant d2).
+  void mac_idle_energy() {
+    const double j = cfg_.mac.duty_cycle * cfg_.mac.idle_j_per_subslot *
+                     static_cast<double>(mac_->last_phase_subslots());
+    if (j <= 0.0) return;
+    for (SensorNode& node : net_.nodes()) {
+      if (!node.operational(cfg_.death_line)) continue;
+      result_.energy.charge(EnergyUse::kMac, node.battery.consume(j),
+                            node.id);
+      sync_battery(node.id, node.battery);
+    }
+  }
+
+  /// Side effects for member/arrival frames (payload = mac_payload_[tag]).
+  struct MemberMacHost final : MacHost {
+    SimRun& s;
+    explicit MemberMacHost(SimRun& r) : s(r) {}
+    bool sender_up(const MacFrame& f) override { return s.alive(f.src); }
+    bool target_listening(const MacFrame& f) override {
+      return f.target == kBaseStationId ? s.bs_up() : s.alive(f.target);
+    }
+    void on_attempt(MacFrame& f, int attempt) override {
+      // First attempt stays in the kTransmit bucket (comparable with the
+      // ideal model); retransmissions are MAC overhead.
+      s.charge(f.src,
+               attempt == 0 ? EnergyUse::kTransmit : EnergyUse::kMac,
+               f.tx_j);
+    }
+    bool on_decode(MacFrame& f) override {
+      Packet& p = s.mac_payload_[f.tag];
+      if (f.target == kBaseStationId) {
+        s.record_delivery(p, s.global_slot_);
+        return true;
+      }
+      s.charge(f.target, EnergyUse::kReceive, s.radio_.rx_energy(f.bits));
+      const std::int32_t qs =
+          s.rs_.queue_slot[static_cast<std::size_t>(f.target)];
+      if (qs >= 0 && s.queues_[static_cast<std::size_t>(qs)].push(p)) {
+        if (s.auditor_) s.auditor_->on_relay_accept(s.net_, f.target, true);
+        return true;
+      }
+      return false;
+    }
+    void on_feedback(MacFrame& f, bool ack) override {
+      s.protocol_.on_tx_result(s.net_, f.src, f.target, ack);
+    }
+    void on_drop(MacFrame& f, MacLossCause cause) override {
+      s.mac_attribute_loss(f, cause, 1);
+    }
+  };
+
+  /// Side effects for head-uplink frames (payload = the fused buffer of
+  /// chain mac_chains_[tag]; a drop loses the whole aggregate).
+  struct UplinkMacHost final : MacHost {
+    SimRun& s;
+    explicit UplinkMacHost(SimRun& r) : s(r) {}
+    bool sender_up(const MacFrame& f) override { return s.alive(f.src); }
+    bool target_listening(const MacFrame& f) override {
+      return f.target == kBaseStationId ? s.bs_up() : s.alive(f.target);
+    }
+    void on_attempt(MacFrame& f, int attempt) override {
+      s.charge(f.src,
+               attempt == 0 ? EnergyUse::kTransmit : EnergyUse::kMac,
+               f.tx_j);
+    }
+    bool on_decode(MacFrame& f) override {
+      if (f.target == kBaseStationId) return true;  // recorded by the chain walk
+      s.charge(f.target, EnergyUse::kReceive, s.radio_.rx_energy(f.bits));
+      // Congestion check against the relay's remaining cache headroom, as
+      // in deliver_aggregate.
+      const std::int32_t qs =
+          s.rs_.queue_slot[static_cast<std::size_t>(f.target)];
+      if (qs >= 0 && s.cfg_.queue_capacity != 0 &&
+          s.queues_[static_cast<std::size_t>(qs)].size() >=
+              s.cfg_.queue_capacity)
+        return false;
+      if (s.auditor_) s.auditor_->on_relay_accept(s.net_, f.target, true);
+      return true;
+    }
+    void on_feedback(MacFrame& f, bool ack) override {
+      if (f.target == kBaseStationId)
+        s.protocol_.on_uplink_result(s.net_, f.src, ack);
+      else
+        s.protocol_.on_tx_result(s.net_, f.src, f.target, ack);
+    }
+    void on_drop(MacFrame& f, MacLossCause cause) override {
+      const HeadBuffer& buf = s.fused_[static_cast<std::size_t>(
+          s.mac_chains_[f.tag].buf)];
+      s.mac_attribute_loss(f, cause, buf.packets.size());
+    }
+  };
+
+  /// Plays this slot's staged frame batch through one contention phase.
+  void mac_resolve_slot() {
+    if (mac_frames_.empty()) return;
+    MemberMacHost host(*this);
+    mac_->resolve(mac_frames_, host);
+    mac_idle_energy();
+    mac_frames_.clear();
+    mac_payload_.clear();
+  }
+
+  /// Round-end uplinks under MAC: all live chains' current hops form one
+  /// contention phase per wave (relaying heads genuinely interfere with
+  /// each other), delivered chains to intermediate heads advance and
+  /// contend again next wave.
+  void mac_deliver_uplinks(const std::vector<int>& heads);
+
   /// Per-round telemetry roll-up (called only while telemetry is attached):
   /// packet counters advance by this round's cumulative deltas, liveness
   /// gauges refresh, and one "round_end" event summarizes the round.
   [[gnu::cold]] void emit_round_metrics(int round, std::size_t alive_now,
                                         std::size_t head_ct);
+
+  /// MAC counter roll-up into the metrics registry (telemetry-attached,
+  /// MAC-enabled rounds only). Naming: OBSERVABILITY.md "sim.mac.*".
+  [[gnu::cold]] void emit_mac_metrics(const MacCounters& d) {
+    obs::MetricsRegistry& m = telemetry_->metrics();
+    m.counter("sim.mac.tx_attempts").inc(d.tx_attempts);
+    m.counter("sim.mac.retransmits").inc(d.retransmits);
+    m.counter("sim.mac.collisions").inc(d.collisions);
+    m.counter("sim.mac.capture_wins").inc(d.capture_wins);
+    m.counter("sim.mac.cca_busy").inc(d.cca_busy);
+    m.counter("sim.mac.backoff_subslots").inc(d.backoff_subslots);
+    m.counter("sim.mac.subslots").inc(d.subslots);
+  }
 
   /// Retry bookkeeping, outlined so the Event construction never bloats
   /// the deliver loops (the hot path keeps only the null-telemetry test).
@@ -244,6 +453,20 @@ class SimRun {
     std::uint64_t lost_link = 0, lost_queue = 0, lost_dead = 0;
   } emitted_;
 
+  std::optional<MacEngine> mac_;  // engaged when cfg.mac.enabled
+  std::vector<MacFrame> mac_frames_;  // per-phase frame batch scratch
+  std::vector<Packet> mac_payload_;   // member-frame payloads, by tag
+  /// One head-uplink chain: the fused_ buffer index it carries plus its
+  /// current holder and hop count.
+  struct UpChain {
+    int holder;
+    int buf;
+    int hops;
+  };
+  std::vector<UpChain> mac_chains_;  // this wave's chains, by frame tag
+  std::vector<UpChain> mac_active_;  // chains still short of the BS
+  MacCounters mac_prev_;  // last round's cumulative totals, for deltas
+
   std::optional<FaultInjector> fault_;  // engaged when cfg.fault.enabled
   std::vector<FaultInjector::Fade> fade_ops_;  // per-round fade scratch
   std::vector<int> crashed_scratch_;           // per-round new-crash scratch
@@ -292,6 +515,12 @@ void SimRun::deliver_from(int src, Packet p) {
     const std::int32_t qs = rs_.queue_slot[static_cast<std::size_t>(src)];
     if (qs >= 0 && queues_[static_cast<std::size_t>(qs)].push(p)) return;
     ++result_.lost_queue;
+    return;
+  }
+  if (mac_) {
+    // Contention-aware path: stage the frame for this slot's phase instead
+    // of resolving the transmission inline.
+    mac_enqueue(src, p);
     return;
   }
 
@@ -425,6 +654,68 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
     ++relay_hops;
   }
   result_.lost_link += buf.packets.size();
+}
+
+void SimRun::mac_deliver_uplinks(const std::vector<int>& heads) {
+  // Hop budget per chain, as in deliver_aggregate: beyond it the protocol's
+  // uplink graph has cycled.
+  constexpr int kMaxRelayHops = 64;
+  mac_active_.clear();
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    if (!fused_[i].packets.empty())
+      mac_active_.push_back(UpChain{heads[i], static_cast<int>(i), 0});
+  }
+  UplinkMacHost host(*this);
+  while (!mac_active_.empty()) {
+    mac_frames_.clear();
+    mac_chains_.clear();
+    for (const UpChain& c : mac_active_) {
+      const HeadBuffer& buf = fused_[static_cast<std::size_t>(c.buf)];
+      if (c.hops > kMaxRelayHops) {
+        result_.lost_link += buf.packets.size();
+        continue;
+      }
+      if (!alive(c.holder)) {
+        result_.lost_dead += buf.packets.size();
+        if (fault_down(c.holder))
+          result_.resilience.lost_at_down_node += buf.packets.size();
+        continue;
+      }
+      const int target = protocol_.uplink_target(net_, c.holder, rng_);
+      const double d = dist(c.holder, target);
+      MacFrame f;
+      f.src = c.holder;
+      f.target = target;
+      f.tag = static_cast<std::uint32_t>(mac_chains_.size());
+      f.bits = buf.bits;
+      f.tx_j = radio_.tx_energy(buf.bits, d);
+      f.link_p = mac_link_p(target, d);
+      f.src_pos = rs_.pos[static_cast<std::size_t>(c.holder)];
+      f.dst_pos = target == kBaseStationId
+                      ? bs_
+                      : rs_.pos[static_cast<std::size_t>(target)];
+      mac_frames_.push_back(f);
+      mac_chains_.push_back(c);
+    }
+    if (mac_frames_.empty()) break;
+    mac_->resolve(mac_frames_, host);
+    mac_idle_energy();
+    mac_active_.clear();
+    for (std::size_t k = 0; k < mac_frames_.size(); ++k) {
+      const MacFrame& f = mac_frames_[k];
+      const UpChain& c = mac_chains_[k];
+      if (!f.delivered) continue;  // the host already attributed the loss
+      if (f.target == kBaseStationId) {
+        // One slot of delay per relay hop taken on the way up.
+        for (Packet& p : fused_[static_cast<std::size_t>(c.buf)].packets)
+          record_delivery(p, global_slot_ + c.hops);
+      } else {
+        mac_active_.push_back(UpChain{f.target, c.buf, c.hops + 1});
+      }
+    }
+  }
+  mac_frames_.clear();
+  mac_chains_.clear();
 }
 
 void SimRun::emit_round_metrics(int round, std::size_t alive_now,
@@ -590,6 +881,11 @@ SimResult SimRun::run() {
         ++result_.generated;
         deliver_from(id, p);
       }
+      // (c) MAC contention phase: resolve the frames staged by stages
+      // (a)-(b) before heads service their queues, so packet visibility
+      // matches the ideal path (this slot's deliveries are serviceable
+      // this slot).
+      if (mac_) mac_resolve_slot();
       // (d) cluster-mode head service: aggregate into the fused buffer.
       if (!flat_) {
         for (std::size_t i = 0; i < heads.size(); ++i) {
@@ -628,8 +924,12 @@ SimResult SimRun::run() {
 
     if (!flat_) {
       // (d) round-end uplinks.
-      for (std::size_t i = 0; i < heads.size(); ++i)
-        deliver_aggregate(heads[i], fused_[i]);
+      if (mac_) {
+        mac_deliver_uplinks(heads);
+      } else {
+        for (std::size_t i = 0; i < heads.size(); ++i)
+          deliver_aggregate(heads[i], fused_[i]);
+      }
 
       // (e) leftover cache content strands to next round (the ex-head
       // re-routes it as an ordinary member), unless the holder died.
@@ -682,6 +982,12 @@ SimResult SimRun::run() {
           fault_->disruptions_this_round(), !fault_->bs_up(),
           fault_->link_factor() < 1.0, down});
     }
+    if (mac_) {
+      const MacCounters delta = mac_->totals().minus(mac_prev_);
+      mac_prev_ = mac_->totals();
+      result_.mac.per_round.push_back(MacRound{round, delta});
+      if (telemetry_) emit_mac_metrics(delta);
+    }
     if (cfg_.trace.record) {
       result_.trace.push_back(RoundStats{
           round, alive_now, heads.size(), net_.total_residual_energy(),
@@ -727,6 +1033,7 @@ SimResult SimRun::run() {
     result_.per_node_rate.push_back(node.battery.consumption_rate());
     result_.total_energy_consumed += node.battery.consumed();
   }
+  if (mac_) result_.mac.totals = mac_->totals();
   result_.q_evaluations = protocol_.learning_updates();
   if (auditor_) {
     auditor_->finalize(net_, result_.energy, result_);

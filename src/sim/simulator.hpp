@@ -13,6 +13,7 @@
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/fault/fault.hpp"
+#include "sim/mac/mac.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
 #include "util/exec.hpp"
@@ -91,6 +92,13 @@ struct SimConfig {
   /// so traces and golden digests stay bit-identical either way. See
   /// OBSERVABILITY.md.
   obs::TelemetryOptions telemetry;
+  /// Contention-aware MAC/PHY sub-phase (sim/mac, DESIGN.md §14). Disabled
+  /// by default: the engine is never constructed, no Rng draw happens, and
+  /// every golden-trace digest is bit-identical. Enabled, each slot's
+  /// transmissions contend (slotted CSMA, collisions, capture, backoff)
+  /// with retransmit + duty-cycle energy in EnergyUse::kMac; max_retries
+  /// above is superseded by mac.max_retries on the MAC path.
+  MacConfig mac;
   /// Intra-round sharding (util/exec.hpp, DESIGN.md §12). shards > 1 fans
   /// the RNG-free round phases over an internal thread pool; every shard
   /// count — including 1, the default serial core — produces bit-identical

@@ -83,6 +83,38 @@ TEST(ConfigErrors, OutOfDomainNumbers) {
   expect_rejected(R"({"base_seed": -1})", "base_seed", "≥ 0");
 }
 
+TEST(ConfigErrors, MacBlockValidated) {
+  // The sim.mac.* schema: strict unknown-key rejection plus the domain
+  // bounds documented in sim/mac/mac.hpp, all path-qualified.
+  expect_rejected(R"({"sim": {"mac": {"slot_len": 3}}})", "sim.mac.slot_len",
+                  "unknown key");
+  expect_rejected(R"({"sim": {"mac": {"airtime_subslots": 0}}})",
+                  "sim.mac.airtime_subslots", "expected integer ≥ 1, got 0");
+  expect_rejected(R"({"sim": {"mac": {"airtime_subslots": -2}}})",
+                  "sim.mac.airtime_subslots", "≥ 1");
+  expect_rejected(R"({"sim": {"mac": {"cca_range": 0}}})", "sim.mac.cca_range",
+                  "expected number > 0, got 0");
+  expect_rejected(R"({"sim": {"mac": {"capture_ratio": 0.5}}})",
+                  "sim.mac.capture_ratio", "expected number ≥ 1, got 0.5");
+  expect_rejected(R"({"sim": {"mac": {"max_retries": -1}}})",
+                  "sim.mac.max_retries", "≥ 0");
+  expect_rejected(R"({"sim": {"mac": {"cw_min": 0}}})", "sim.mac.cw_min",
+                  "≥ 1");
+  expect_rejected(R"({"sim": {"mac": {"cw_max": 0}}})", "sim.mac.cw_max",
+                  "≥ 1");
+  expect_rejected(R"({"sim": {"mac": {"duty_cycle": 0}}})",
+                  "sim.mac.duty_cycle", "expected number in [0, 1], got 0");
+  expect_rejected(R"({"sim": {"mac": {"duty_cycle": 1.5}}})",
+                  "sim.mac.duty_cycle", "in [0, 1]");
+  expect_rejected(R"({"sim": {"mac": {"idle_j_per_subslot": -0.1}}})",
+                  "sim.mac.idle_j_per_subslot", "≥ 0");
+  expect_rejected(R"({"sim": {"mac": {"enabled": "on"}}})", "sim.mac.enabled",
+                  "expected true or false, got \"on\"");
+  expect_rejected(R"({"sim": {"mac": {"seed": -1}}})", "sim.mac.seed", "≥ 0");
+  expect_rejected(R"({"sim": {"mac": []}})", "sim.mac",
+                  "expected object, got array");
+}
+
 TEST(ConfigErrors, IntegersBeyondExactDoubleRangeRejected) {
   // 2^53 + 2 is representable as a double but not an exact odd integer
   // neighborhood; anything above the exact window is refused outright.

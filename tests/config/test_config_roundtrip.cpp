@@ -102,6 +102,18 @@ ExperimentConfig random_config(Rng& rng) {
   c.sim.fault.hazards.bs_outage_rounds =
       static_cast<int>(rng.uniform_int(std::uint64_t{4}));
 
+  c.sim.mac.enabled = rng.bernoulli(0.5);
+  c.sim.mac.seed = rng.uniform_int(std::uint64_t{1} << 53);
+  c.sim.mac.airtime_subslots =
+      1 + static_cast<int>(rng.uniform_int(std::uint64_t{8}));
+  c.sim.mac.cca_range = rng.uniform(1.0, 500.0);
+  c.sim.mac.capture_ratio = rng.uniform(1.0, 10.0);
+  c.sim.mac.max_retries = static_cast<int>(rng.uniform_int(std::uint64_t{8}));
+  c.sim.mac.cw_min = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{16}));
+  c.sim.mac.cw_max = 1 + static_cast<int>(rng.uniform_int(std::uint64_t{128}));
+  c.sim.mac.duty_cycle = rng.uniform(0.01, 1.0);
+  c.sim.mac.idle_j_per_subslot = rng.uniform(0.0, 1e-3);
+
   c.sim.telemetry.enabled = rng.bernoulli(0.5);
   c.sim.telemetry.sink = pick(rng, {obs::TelemetryOptions::Sink::kNull,
                                     obs::TelemetryOptions::Sink::kRing,

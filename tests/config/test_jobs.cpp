@@ -60,6 +60,15 @@ TEST(JobKey, AnyConfigDeltaChangesTheKey) {
   other.config.sim.rounds += 1;
   EXPECT_NE(job_key(base.config), job_key(other.config));
 
+  // MAC knobs are simulation-relevant (digests diverge when enabled), so
+  // they must shift the key even though the default is inert.
+  other = tiny_cell();
+  other.config.sim.mac.enabled = true;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+  other = tiny_cell();
+  other.config.sim.mac.cca_range += 1.0;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
   EXPECT_NE(job_key(base.config), job_key(tiny_cell("direct").config));
 }
 

@@ -55,6 +55,20 @@ TEST(Sweep, ThreeByThreeExpandsToNineCells) {
   EXPECT_EQ(cells[3].bindings[0].first, "protocol.name");
 }
 
+TEST(Sweep, MacKnobsAreSweepable) {
+  // The contention knobs ride the generic path machinery: a boolean
+  // enabled axis crossed with a numeric cca_range axis.
+  const auto cells = expand_grid(parse_scenario(R"({
+    "sweep": {"sim.mac.enabled": [false, true],
+              "sim.mac.cca_range": [75, 150]}
+  })"));
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_FALSE(cells[0].config.sim.mac.enabled);
+  EXPECT_TRUE(cells[2].config.sim.mac.enabled);
+  EXPECT_DOUBLE_EQ(cells[1].config.sim.mac.cca_range, 150.0);
+  EXPECT_EQ(cells[3].label, "sim.mac.enabled=true sim.mac.cca_range=150");
+}
+
 TEST(Sweep, NoSweepBlockIsOneCell) {
   const auto cells = expand_grid(parse_scenario(R"({"scenario":{"n":7}})"));
   ASSERT_EQ(cells.size(), 1u);

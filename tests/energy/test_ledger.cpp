@@ -58,6 +58,7 @@ TEST(EnergyLedger, SummaryMentionsAllBuckets) {
   EXPECT_NE(s.find("rx="), std::string::npos);
   EXPECT_NE(s.find("agg="), std::string::npos);
   EXPECT_NE(s.find("ctl="), std::string::npos);
+  EXPECT_NE(s.find("mac="), std::string::npos);
   EXPECT_NE(s.find("total="), std::string::npos);
 }
 
@@ -66,6 +67,7 @@ TEST(EnergyUseName, AllNamed) {
   EXPECT_STREQ(energy_use_name(EnergyUse::kReceive), "rx");
   EXPECT_STREQ(energy_use_name(EnergyUse::kAggregate), "agg");
   EXPECT_STREQ(energy_use_name(EnergyUse::kControl), "ctl");
+  EXPECT_STREQ(energy_use_name(EnergyUse::kMac), "mac");
 }
 
 }  // namespace
