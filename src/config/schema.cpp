@@ -76,6 +76,22 @@ const EnumTable<FaultKind>& fault_kind_table() {
   return t;
 }
 
+const EnumTable<SectorMode>& sector_mode_table() {
+  static const EnumTable<SectorMode> t = {
+      {SectorMode::kQuadrant, "quadrant"},
+      {SectorMode::kOctant, "octant"},
+  };
+  return t;
+}
+
+const EnumTable<ControllerKind>& controller_kind_table() {
+  static const EnumTable<ControllerKind> t = {
+      {ControllerKind::kRlLite, "rl-lite"},
+      {ControllerKind::kPassthrough, "passthrough"},
+  };
+  return t;
+}
+
 const EnumTable<Deployment>& deployment_table() {
   static const EnumTable<Deployment> t = {
       {Deployment::kUniform, deployment_name(Deployment::kUniform)},
@@ -298,6 +314,15 @@ void write_qlec_params(JsonWriter& w, const QlecParams& q) {
   w.end_object();
 }
 
+void write_controller(JsonWriter& w, const ControllerOptions& c) {
+  w.begin_object();
+  w.key("kind"); w.value(controller_kind_name(c.kind));
+  w.key("alpha"); w.value(c.alpha);
+  w.key("gamma"); w.value(c.gamma);
+  w.key("epsilon"); w.value(c.epsilon);
+  w.end_object();
+}
+
 void write_protocol(JsonWriter& w, const ProtocolOptions& p) {
   w.begin_object();
   w.key("name"); w.value(p.name);
@@ -307,6 +332,8 @@ void write_protocol(JsonWriter& w, const ProtocolOptions& p) {
   w.key("death_line"); w.value(p.death_line);
   w.key("hello_bits"); w.value(p.hello_bits);
   w.key("radio"); write_radio(w, p.radio);
+  w.key("sector_mode"); w.value(sector_mode_name(p.sector_mode));
+  w.key("controller"); write_controller(w, p.controller);
   w.end_object();
 }
 
@@ -538,6 +565,17 @@ QlecParams read_qlec_params(const JsonValue& v, const std::string& path,
   return out;
 }
 
+ControllerOptions read_controller(const JsonValue& v, const std::string& path,
+                                  ControllerOptions out) {
+  ObjectReader r(v, path);
+  enum_field(r, "kind", out.kind, controller_kind_table());
+  r.number("alpha", out.alpha, 0.0, 1.0);
+  r.number("gamma", out.gamma, 0.0, 1.0);
+  r.number("epsilon", out.epsilon, 0.0, 1.0);
+  r.finish();
+  return out;
+}
+
 ProtocolOptions read_protocol(const JsonValue& v, const std::string& path,
                               ProtocolOptions out) {
   ObjectReader r(v, path);
@@ -560,6 +598,10 @@ ProtocolOptions read_protocol(const JsonValue& v, const std::string& path,
   r.number("hello_bits", out.hello_bits, 0.0);
   if (const JsonValue* j = r.find("radio"))
     out.radio = read_radio(*j, r.sub("radio"), out.radio);
+  enum_field(r, "sector_mode", out.sector_mode, sector_mode_table());
+  if (const JsonValue* j = r.find("controller"))
+    out.controller =
+        read_controller(*j, r.sub("controller"), out.controller);
   r.finish();
   return out;
 }

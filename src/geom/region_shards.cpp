@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+
+#include "geom/sectors.hpp"
 
 namespace qlec {
 
@@ -20,43 +21,18 @@ std::vector<std::vector<std::uint32_t>> region_partition(
     return parts;
   }
 
-  Vec3 lo = pos[0], hi = pos[0];
-  for (const Vec3& p : pos) {
-    lo.x = std::min(lo.x, p.x);
-    lo.y = std::min(lo.y, p.y);
-    lo.z = std::min(lo.z, p.z);
-    hi.x = std::max(hi.x, p.x);
-    hi.y = std::max(hi.y, p.y);
-    hi.z = std::max(hi.z, p.z);
-  }
-
   // A coarse grid of roughly 8 cells per shard: fine enough that cutting
   // the cell sweep into equal runs yields compact regions, coarse enough
   // that the sort key is cheap. Resolution depends only on the shard count.
   const int cells = std::max(
       2, static_cast<int>(std::ceil(std::cbrt(8.0 * static_cast<double>(s)))));
-  const auto axis_cell = [cells](double v, double lo_a, double hi_a) {
-    const double ext = hi_a - lo_a;
-    if (!(ext > 0.0)) return std::uint64_t{0};  // degenerate axis (or NaN)
-    const double t = (v - lo_a) / ext * static_cast<double>(cells);
-    const auto c = static_cast<long long>(t);
-    return static_cast<std::uint64_t>(
-        std::clamp<long long>(c, 0, cells - 1));
-  };
+  const SectorGrid grid(bounding_box(pos), cells, cells, cells);
 
   // key = (cell sweep index) << 32 | id: one u64 sort gives the spatial
   // order with a deterministic id tie-break baked in.
   std::vector<std::uint64_t> keys(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t cx = axis_cell(pos[i].x, lo.x, hi.x);
-    const std::uint64_t cy = axis_cell(pos[i].y, lo.y, hi.y);
-    const std::uint64_t cz = axis_cell(pos[i].z, lo.z, hi.z);
-    const std::uint64_t cell =
-        (cz * static_cast<std::uint64_t>(cells) + cy) *
-            static_cast<std::uint64_t>(cells) +
-        cx;
-    keys[i] = (cell << 32) | static_cast<std::uint64_t>(i);
-  }
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] = (grid.sector_of(pos[i]) << 32) | static_cast<std::uint64_t>(i);
   std::sort(keys.begin(), keys.end());
 
   // Cut the sweep into s contiguous runs of near-equal size; the first

@@ -1,4 +1,6 @@
-// Spatial-grid region partitioning for the sharded round core: splits the
+// Spatial-grid region partitioning for the sharded round core, built on the
+// shared `geom/sectors` SectorGrid (the same primitive the regional
+// protocols Q-LEACH and REECH-ME sector the volume with): splits the
 // node set into `shards` spatially-coherent regions so per-node phases that
 // query the neighbourhood grid (HELLO coverage, nearest-head assignment)
 // touch mostly shard-local cells. The partition is a function of the

@@ -1,0 +1,91 @@
+#include "sim/protocols/reech_me_protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/optimal_k.hpp"
+#include "sim/protocols/common.hpp"
+
+namespace qlec {
+
+ReechMeProtocol::ReechMeProtocol(SectorMode mode, double death_line,
+                                 RadioModel radio, double hello_bits)
+    : mode_(mode), death_line_(death_line), radio_(radio),
+      hello_bits_(hello_bits) {}
+
+void ReechMeProtocol::on_round_start(Network& net, int round, Rng& rng,
+                                     EnergyLedger& ledger) {
+  (void)rng;  // fully deterministic election: zero main-stream draws
+  net.reset_heads();
+  const SectorGrid grid = SectorGrid::for_mode(net.domain(), mode_);
+  const std::size_t sectors = grid.count();
+
+  // Region head = argmax residual energy among the region's operational
+  // nodes; the id-order scan breaks exact-energy ties to the lower id.
+  std::vector<std::uint64_t> sector(net.size(), 0);
+  std::vector<int> region_head(sectors, kBaseStationId);
+  std::vector<double> region_energy(sectors, -1.0);
+  for (const SensorNode& n : net.nodes()) {
+    const std::uint64_t s = grid.sector_of(n.pos);
+    sector[static_cast<std::size_t>(n.id)] = s;
+    if (!n.operational(death_line_)) continue;
+    if (n.battery.residual() > region_energy[s]) {
+      region_energy[s] = n.battery.residual();
+      region_head[s] = n.id;
+    }
+  }
+  std::vector<int> heads;
+  for (std::size_t s = 0; s < sectors; ++s) {
+    if (region_head[s] == kBaseStationId) continue;
+    SensorNode& n = net.node(region_head[s]);
+    n.is_head = true;
+    n.last_head_round = round;
+    heads.push_back(n.id);
+  }
+  std::sort(heads.begin(), heads.end());
+
+  // Region-aware membership: every node reports to its own region's head;
+  // nodes in a bare region (no operational node at all) fall back to the
+  // global nearest alive head. RNG-free and id-ordered.
+  assignment_.assign(net.size(), kBaseStationId);
+  for (const SensorNode& n : net.nodes()) {
+    const int rh =
+        region_head[static_cast<std::size_t>(
+            sector[static_cast<std::size_t>(n.id)])];
+    if (rh != kBaseStationId) {
+      assignment_[static_cast<std::size_t>(n.id)] = rh;
+      continue;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (const int h : heads) {
+      const double d = net.dist(n.id, h);
+      if (d < best) {
+        best = d;
+        assignment_[static_cast<std::size_t>(n.id)] = h;
+      }
+    }
+  }
+
+  const double m_side = std::cbrt(std::max(net.domain().volume(), 0.0));
+  detail::charge_hello(net, heads, assignment_, radio_, hello_bits_,
+                       cluster_radius(m_side,
+                                      std::max<double>(1.0,
+                                                       static_cast<double>(
+                                                           sectors))),
+                       death_line_, ledger);
+}
+
+int ReechMeProtocol::route(const Network& net, int src, double bits,
+                           Rng& rng) {
+  (void)bits;
+  (void)rng;
+  const int a = assignment_.at(static_cast<std::size_t>(src));
+  if (a != kBaseStationId && net.node(a).operational(death_line_))
+    return a;
+  const std::vector<int> fresh =
+      detail::assign_nearest_head(net, net.head_ids(), death_line_, exec_);
+  return fresh.at(static_cast<std::size_t>(src));
+}
+
+}  // namespace qlec

@@ -12,7 +12,10 @@
 #include "sim/protocols/ideec_protocol.hpp"
 #include "sim/protocols/kmeans_protocol.hpp"
 #include "sim/protocols/leach_protocol.hpp"
+#include "sim/protocols/leach_rlc_protocol.hpp"
 #include "sim/protocols/qelar_protocol.hpp"
+#include "sim/protocols/qleach_protocol.hpp"
+#include "sim/protocols/reech_me_protocol.hpp"
 #include "sim/protocols/tl_leach_protocol.hpp"
 
 namespace qlec {
@@ -87,13 +90,25 @@ std::unique_ptr<ClusteringProtocol> make_protocol(const std::string& name,
         std::max(40.0, 1.2 * cluster_radius(m_side, static_cast<double>(k)));
     return std::make_unique<QelarProtocol>(qc);
   }
+  if (name == "q-leach")
+    return std::make_unique<QLeachProtocol>(p, opt.sector_mode,
+                                            opt.death_line, radio,
+                                            opt.hello_bits);
+  if (name == "reech-me")
+    return std::make_unique<ReechMeProtocol>(opt.sector_mode, opt.death_line,
+                                             radio, opt.hello_bits);
+  if (name == "leach-rlc")
+    return std::make_unique<LeachRlcProtocol>(
+        make_controller(opt.controller, k, p), opt.death_line, radio,
+        opt.hello_bits);
   if (name == "direct") return std::make_unique<DirectProtocol>();
   throw std::invalid_argument("unknown protocol: " + name);
 }
 
 std::vector<std::string> protocol_names() {
-  return {"qlec", "ideec", "kmeans",   "fcm",    "leach",
-          "deec", "heed",  "tl-leach", "qelar",  "direct"};
+  return {"qlec",  "ideec",    "kmeans",  "fcm",      "leach",
+          "deec",  "heed",     "tl-leach", "qelar",   "direct",
+          "q-leach", "reech-me", "leach-rlc"};
 }
 
 }  // namespace qlec

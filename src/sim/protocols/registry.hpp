@@ -1,5 +1,6 @@
 // Name -> protocol factory so benches/examples can sweep algorithms by
-// string ("qlec", "fcm", "kmeans", "leach", "deec", "direct").
+// string ("qlec", "fcm", "kmeans", "leach", "deec", "direct", "q-leach",
+// "reech-me", "leach-rlc", ... — protocol_names() is the full list).
 #pragma once
 
 #include <memory>
@@ -8,6 +9,8 @@
 
 #include "core/params.hpp"
 #include "energy/radio_model.hpp"
+#include "geom/sectors.hpp"
+#include "sim/controller.hpp"
 #include "sim/protocol.hpp"
 
 namespace qlec {
@@ -19,6 +22,11 @@ struct ProtocolOptions {
   double death_line = 0.0;
   double hello_bits = 200.0;
   RadioParams radio;
+  /// Volume sectoring for the regional protocols (q-leach, reech-me):
+  /// planar quadrants or 3-D octants (config: protocol.sector_mode).
+  SectorMode sector_mode = SectorMode::kOctant;
+  /// BS-side controller for leach-rlc (config: protocol.controller).
+  ControllerOptions controller;
   /// Registry name of the protocol a declarative scenario runs (see
   /// src/config/): `qlec_run` passes `cfg.protocol.name` to make_protocol,
   /// and a sweep may vary it ("protocol.name": ["qlec", "fcm", ...]).

@@ -79,6 +79,11 @@ TEST(ConfigErrors, OutOfDomainNumbers) {
       "expected number in [0, 1], got \"high\"");
   expect_rejected(R"({"sim": {"radio": {"eps_mp": 0}}})", "sim.radio.eps_mp",
                   "number > 0");
+  expect_rejected(R"({"protocol": {"controller": {"alpha": 1.5}}})",
+                  "protocol.controller.alpha",
+                  "expected number in [0, 1], got 1.5");
+  expect_rejected(R"({"protocol": {"controller": {"epsilon": -0.2}}})",
+                  "protocol.controller.epsilon", "in [0, 1]");
   expect_rejected(R"({"seeds": 0})", "seeds", "≥ 1");
   expect_rejected(R"({"base_seed": -1})", "base_seed", "≥ 0");
 }
@@ -167,6 +172,10 @@ TEST(ConfigErrors, EnumTokensValidated) {
                   "uniform|terrain");
   expect_rejected(R"({"protocol": {"name": "aodv"}})", "protocol.name",
                   "got \"aodv\"");
+  expect_rejected(R"({"protocol": {"sector_mode": "hemisphere"}})",
+                  "protocol.sector_mode", "quadrant|octant");
+  expect_rejected(R"({"protocol": {"controller": {"kind": "ppo"}}})",
+                  "protocol.controller.kind", "rl-lite|passthrough");
   expect_rejected(R"({"sim": {"fault": {"plan": {"events":
       [{"kind": "meteor"}]}}}})",
                   "sim.fault.plan.events[0].kind", "crash|");

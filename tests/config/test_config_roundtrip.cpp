@@ -128,7 +128,8 @@ ExperimentConfig random_config(Rng& rng) {
 
   c.protocol.name = pick<std::string>(
       rng, {"qlec", "kmeans", "fcm", "leach", "deec", "heed", "ideec",
-            "tl-leach", "qelar", "direct"});
+            "tl-leach", "qelar", "direct", "q-leach", "reech-me",
+            "leach-rlc"});
   c.protocol.qlec.gamma = rng.uniform01();
   c.protocol.qlec.alpha1 = rng.uniform(-2.0, 2.0);
   c.protocol.qlec.alpha2 = rng.uniform(-2.0, 2.0);
@@ -155,6 +156,13 @@ ExperimentConfig random_config(Rng& rng) {
   c.protocol.death_line = rng.uniform(0.0, 0.1);
   c.protocol.hello_bits = rng.uniform(0.0, 500.0);
   c.protocol.radio.eps_mp = rng.uniform(1e-16, 1e-14);
+  c.protocol.sector_mode =
+      pick(rng, {SectorMode::kQuadrant, SectorMode::kOctant});
+  c.protocol.controller.kind =
+      pick(rng, {ControllerKind::kRlLite, ControllerKind::kPassthrough});
+  c.protocol.controller.alpha = rng.uniform01();
+  c.protocol.controller.gamma = rng.uniform01();
+  c.protocol.controller.epsilon = rng.uniform01();
 
   c.seeds = 1 + rng.uniform_int(std::uint64_t{16});
   c.base_seed = rng.uniform_int(std::uint64_t{1} << 53);

@@ -16,6 +16,7 @@
 #include "config/runner.hpp"
 #include "config/sweep.hpp"
 #include "config/version.hpp"
+#include "sim/protocols/registry.hpp"
 #include "util/csv.hpp"
 
 namespace qlec::config {
@@ -347,7 +348,7 @@ TEST(GoldenReplay, CachedReplayServesCommittedDigests) {
   ASSERT_TRUE(scenario_text.has_value());
   const std::vector<SweepCell> cells =
       expand_grid(parse_scenario(*scenario_text));
-  ASSERT_EQ(cells.size(), 10u);
+  ASSERT_EQ(cells.size(), protocol_names().size());
 
   const std::string dir = fresh_dir("qlec_golden_cache");
   std::vector<std::vector<std::string>> first_digests;

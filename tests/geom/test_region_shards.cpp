@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "geom/region_shards.hpp"
@@ -12,6 +14,64 @@
 
 namespace qlec {
 namespace {
+
+/// The pre-refactor region_partition implementation (before it was rebuilt
+/// on geom/sectors' SectorGrid), kept verbatim as the equivalence oracle:
+/// the refactor must produce byte-identical shard assignments, since the
+/// partition feeds the sharded round core whose digests are golden-pinned.
+std::vector<std::vector<std::uint32_t>> region_partition_oracle(
+    const std::vector<Vec3>& pos, int shards) {
+  const std::size_t n = pos.size();
+  const int s = std::max(1, shards);
+  std::vector<std::vector<std::uint32_t>> parts(static_cast<std::size_t>(s));
+  if (n == 0) return parts;
+  if (s == 1 || n <= static_cast<std::size_t>(s)) {
+    for (std::size_t i = 0; i < n; ++i)
+      parts[i % static_cast<std::size_t>(s)].push_back(
+          static_cast<std::uint32_t>(i));
+    return parts;
+  }
+  Vec3 lo = pos[0], hi = pos[0];
+  for (const Vec3& p : pos) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  const int cells = std::max(
+      2, static_cast<int>(std::ceil(std::cbrt(8.0 * static_cast<double>(s)))));
+  const auto axis_cell = [cells](double v, double lo_a, double hi_a) {
+    const double ext = hi_a - lo_a;
+    if (!(ext > 0.0)) return std::uint64_t{0};
+    const double t = (v - lo_a) / ext * static_cast<double>(cells);
+    const auto c = static_cast<long long>(t);
+    return static_cast<std::uint64_t>(std::clamp<long long>(c, 0, cells - 1));
+  };
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t cx = axis_cell(pos[i].x, lo.x, hi.x);
+    const std::uint64_t cy = axis_cell(pos[i].y, lo.y, hi.y);
+    const std::uint64_t cz = axis_cell(pos[i].z, lo.z, hi.z);
+    const std::uint64_t cell =
+        (cz * static_cast<std::uint64_t>(cells) + cy) *
+            static_cast<std::uint64_t>(cells) +
+        cx;
+    keys[i] = (cell << 32) | static_cast<std::uint64_t>(i);
+  }
+  std::sort(keys.begin(), keys.end());
+  const std::size_t base = n / static_cast<std::size_t>(s);
+  const std::size_t extra = n % static_cast<std::size_t>(s);
+  std::size_t at = 0;
+  for (std::size_t k = 0; k < static_cast<std::size_t>(s); ++k) {
+    const std::size_t len = base + (k < extra ? 1 : 0);
+    parts[k].reserve(len);
+    for (std::size_t i = 0; i < len; ++i, ++at)
+      parts[k].push_back(static_cast<std::uint32_t>(keys[at] & 0xFFFFFFFFu));
+  }
+  return parts;
+}
 
 std::vector<Vec3> random_cloud(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -90,6 +150,25 @@ TEST(RegionShards, DegenerateGeometriesStillCover) {
   expect_disjoint_cover(region_partition({}, 4), 0);
   EXPECT_EQ(region_partition(random_cloud(5, 6), 0).size(), 1u);
   EXPECT_EQ(region_partition(random_cloud(5, 6), -3).size(), 1u);
+}
+
+TEST(RegionShards, RefactorOntoSectorsIsByteIdenticalToOracle) {
+  for (const std::uint64_t seed : {10u, 11u, 12u}) {
+    const auto pos = random_cloud(509, seed);
+    for (const int s : {1, 2, 3, 7, 16, 64, 509, 600})
+      EXPECT_EQ(region_partition(pos, s), region_partition_oracle(pos, s))
+          << "seed=" << seed << " shards=" << s;
+  }
+  // Degenerate geometries go through the same oracle comparison.
+  const std::vector<Vec3> same(33, Vec3{5.0, 5.0, 5.0});
+  std::vector<Vec3> line;
+  for (int i = 0; i < 50; ++i)
+    line.push_back({static_cast<double>(i), 0.0, 0.0});
+  for (const int s : {1, 2, 4, 6, 16}) {
+    EXPECT_EQ(region_partition(same, s), region_partition_oracle(same, s));
+    EXPECT_EQ(region_partition(line, s), region_partition_oracle(line, s));
+  }
+  EXPECT_EQ(region_partition({}, 4), region_partition_oracle({}, 4));
 }
 
 TEST(RegionShards, ShardsAreSpatiallyCoherent) {

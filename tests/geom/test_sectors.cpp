@@ -1,0 +1,155 @@
+// Properties of the shared sector/region partitioner (geom/sectors): a
+// disjoint id-sorted cover, quadrant vs octant cell layout, clamping of
+// out-of-box points, and sane handling of degenerate boxes. The regional
+// protocols (Q-LEACH, REECH-ME) and the sharded round core all sit on this
+// one primitive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/sectors.hpp"
+#include "util/rng.hpp"
+
+namespace qlec {
+namespace {
+
+std::vector<Vec3> random_cloud(std::size_t n, std::uint64_t seed,
+                               double side = 100.0) {
+  Rng rng(seed);
+  std::vector<Vec3> pos;
+  pos.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pos.push_back({rng.uniform(0.0, side), rng.uniform(0.0, side),
+                   rng.uniform(0.0, side)});
+  return pos;
+}
+
+/// Every id in [0, n) appears exactly once, ascending within its bucket.
+void expect_sorted_disjoint_cover(
+    const std::vector<std::vector<std::uint32_t>>& parts, std::size_t n) {
+  std::vector<int> seen(n, 0);
+  for (const auto& p : parts) {
+    EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+    for (const std::uint32_t id : p) {
+      ASSERT_LT(id, n);
+      ++seen[id];
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                          [](int c) { return c == 1; }));
+}
+
+TEST(Sectors, ModeNamesAreStableTokens) {
+  EXPECT_STREQ(sector_mode_name(SectorMode::kQuadrant), "quadrant");
+  EXPECT_STREQ(sector_mode_name(SectorMode::kOctant), "octant");
+}
+
+TEST(Sectors, QuadrantAndOctantCounts) {
+  const Aabb box = Aabb::cube(100.0);
+  EXPECT_EQ(SectorGrid::quadrants(box).count(), 4u);
+  EXPECT_EQ(SectorGrid::octants(box).count(), 8u);
+  EXPECT_EQ(SectorGrid::for_mode(box, SectorMode::kQuadrant).count(), 4u);
+  EXPECT_EQ(SectorGrid::for_mode(box, SectorMode::kOctant).count(), 8u);
+}
+
+TEST(Sectors, QuadrantsSplitAtTheCenterAndIgnoreZ) {
+  const SectorGrid grid = SectorGrid::quadrants(Aabb::cube(100.0));
+  // x varies fastest, then y; z never changes the index in quadrant mode.
+  EXPECT_EQ(grid.sector_of({10, 10, 0}), 0u);
+  EXPECT_EQ(grid.sector_of({90, 10, 99}), 1u);
+  EXPECT_EQ(grid.sector_of({10, 90, 50}), 2u);
+  EXPECT_EQ(grid.sector_of({90, 90, 1}), 3u);
+}
+
+TEST(Sectors, OctantsSplitAllThreeAxes) {
+  const SectorGrid grid = SectorGrid::octants(Aabb::cube(100.0));
+  EXPECT_EQ(grid.sector_of({10, 10, 10}), 0u);
+  EXPECT_EQ(grid.sector_of({90, 10, 10}), 1u);
+  EXPECT_EQ(grid.sector_of({10, 90, 10}), 2u);
+  EXPECT_EQ(grid.sector_of({90, 90, 10}), 3u);
+  EXPECT_EQ(grid.sector_of({10, 10, 90}), 4u);
+  EXPECT_EQ(grid.sector_of({90, 90, 90}), 7u);
+}
+
+TEST(Sectors, EveryIndexStaysInRange) {
+  const SectorGrid grid(Aabb::cube(50.0), 3, 4, 5);
+  EXPECT_EQ(grid.count(), 60u);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    // Include points well outside the box: they clamp to boundary cells.
+    const Vec3 p{rng.uniform(-100.0, 150.0), rng.uniform(-100.0, 150.0),
+                 rng.uniform(-100.0, 150.0)};
+    EXPECT_LT(grid.sector_of(p), grid.count());
+  }
+}
+
+TEST(Sectors, PartitionIsASortedDisjointCover) {
+  const auto pos = random_cloud(333, 1);
+  for (const SectorMode mode : {SectorMode::kQuadrant, SectorMode::kOctant}) {
+    const SectorGrid grid = SectorGrid::for_mode(bounding_box(pos), mode);
+    const auto parts = sector_partition(pos, grid);
+    ASSERT_EQ(parts.size(), grid.count());
+    expect_sorted_disjoint_cover(parts, pos.size());
+  }
+}
+
+TEST(Sectors, PartitionIsDeterministic) {
+  const auto pos = random_cloud(200, 2);
+  const SectorGrid grid(bounding_box(pos), 3, 3, 3);
+  EXPECT_EQ(sector_partition(pos, grid), sector_partition(pos, grid));
+}
+
+TEST(Sectors, UniformCloudPopulatesEveryOctant) {
+  const auto pos = random_cloud(400, 3);
+  const auto parts =
+      sector_partition(pos, SectorGrid::octants(bounding_box(pos)));
+  for (const auto& p : parts) EXPECT_FALSE(p.empty());
+}
+
+TEST(Sectors, DegenerateBoxesCollapseToOneCellPerFlatAxis) {
+  // Zero-extent box: everything lands in sector 0, whatever the counts.
+  const SectorGrid flat(Aabb{{5, 5, 5}, {5, 5, 5}}, 4, 4, 4);
+  EXPECT_EQ(flat.sector_of({5, 5, 5}), 0u);
+  EXPECT_EQ(flat.sector_of({-10, 99, 3}), 0u);
+  // A planar box (z flat) still sectors in xy.
+  const SectorGrid plane(Aabb{{0, 0, 7}, {100, 100, 7}}, 2, 2, 2);
+  EXPECT_EQ(plane.sector_of({10, 10, 7}), 0u);
+  EXPECT_EQ(plane.sector_of({90, 90, 7}), 3u);
+  // Inverted box (hi < lo): degenerate on every axis, never out of range.
+  const SectorGrid inverted(Aabb{{10, 10, 10}, {0, 0, 0}}, 3, 3, 3);
+  EXPECT_EQ(inverted.sector_of({5, 5, 5}), 0u);
+}
+
+TEST(Sectors, NonPositiveCountsClampToOne) {
+  const SectorGrid grid(Aabb::cube(10.0), 0, -3, 2);
+  EXPECT_EQ(grid.nx(), 1);
+  EXPECT_EQ(grid.ny(), 1);
+  EXPECT_EQ(grid.nz(), 2);
+  EXPECT_EQ(grid.count(), 2u);
+}
+
+TEST(Sectors, BoundingBoxIsTight) {
+  const auto pos = random_cloud(100, 4);
+  const Aabb box = bounding_box(pos);
+  for (const Vec3& p : pos) EXPECT_TRUE(box.contains(p));
+  // Each face is touched by at least one point.
+  bool lo_x = false, hi_x = false;
+  for (const Vec3& p : pos) {
+    lo_x |= p.x == box.lo.x;
+    hi_x |= p.x == box.hi.x;
+  }
+  EXPECT_TRUE(lo_x);
+  EXPECT_TRUE(hi_x);
+  EXPECT_EQ(bounding_box({}), (Aabb{{0, 0, 0}, {0, 0, 0}}));
+}
+
+TEST(Sectors, EmptyCloudYieldsEmptyBuckets) {
+  const auto parts =
+      sector_partition({}, SectorGrid::octants(Aabb::cube(10.0)));
+  ASSERT_EQ(parts.size(), 8u);
+  for (const auto& p : parts) EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace qlec

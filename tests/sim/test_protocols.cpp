@@ -9,6 +9,8 @@
 #include "sim/protocols/fcm_protocol.hpp"
 #include "sim/protocols/kmeans_protocol.hpp"
 #include "sim/protocols/leach_protocol.hpp"
+#include "sim/protocols/qleach_protocol.hpp"
+#include "sim/protocols/reech_me_protocol.hpp"
 #include "sim/protocols/registry.hpp"
 #include "sim/scenario.hpp"
 
@@ -173,6 +175,111 @@ TEST(DeecProtocol, PrefersRicherHeads) {
   EXPECT_GT(rich, poor);
 }
 
+TEST(QLeachProtocol, EveryPopulatedSectorGetsAHead) {
+  Rng rng(31);
+  Network net = test_network(rng, 120);
+  QLeachProtocol proto(0.05, SectorMode::kOctant, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const SectorGrid grid = SectorGrid::octants(net.domain());
+  std::vector<int> heads_per_sector(grid.count(), 0);
+  std::vector<int> nodes_per_sector(grid.count(), 0);
+  for (const SensorNode& n : net.nodes()) {
+    const auto s = static_cast<std::size_t>(grid.sector_of(n.pos));
+    ++nodes_per_sector[s];
+    if (n.is_head) ++heads_per_sector[s];
+  }
+  for (std::size_t s = 0; s < grid.count(); ++s)
+    if (nodes_per_sector[s] > 0)
+      EXPECT_GE(heads_per_sector[s], 1) << "sector " << s;
+  EXPECT_GT(ledger.by_use(EnergyUse::kControl), 0.0);
+}
+
+TEST(QLeachProtocol, MembersJoinAHeadOfTheirOwnSector) {
+  Rng rng(32);
+  Network net = test_network(rng, 120);
+  QLeachProtocol proto(0.05, SectorMode::kQuadrant, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const SectorGrid grid = SectorGrid::quadrants(net.domain());
+  for (int src = 0; src < static_cast<int>(net.size()); ++src) {
+    if (net.node(src).is_head) continue;
+    const int target = proto.route(net, src, 4000.0, rng);
+    ASSERT_NE(target, kBaseStationId);
+    EXPECT_TRUE(net.node(target).is_head);
+    // Quadrant coverage is guaranteed for populated sectors, so every
+    // member's head lives in its own sector.
+    EXPECT_EQ(grid.sector_of(net.node(target).pos),
+              grid.sector_of(net.node(src).pos));
+  }
+}
+
+TEST(QLeachProtocol, RotationEventuallyMovesHeads) {
+  Rng rng(33);
+  Network net = test_network(rng, 80);
+  QLeachProtocol proto(0.1, SectorMode::kOctant, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  std::set<int> ever_heads;
+  for (int round = 0; round < 12; ++round) {
+    proto.on_round_start(net, round, rng, ledger);
+    for (const int h : net.head_ids()) ever_heads.insert(h);
+  }
+  // The per-sector rotation must spread the role well past one round's set.
+  EXPECT_GT(ever_heads.size(), net.head_ids().size() * 2);
+}
+
+TEST(ReechMeProtocol, RegionHeadIsTheRegionsRichestNode) {
+  Rng rng(34);
+  Network net = test_network(rng, 100);
+  // Perturb energies so every region has a unique argmax. hello_bits = 0:
+  // the post-election HELLO charge must not disturb the ranking under test.
+  for (int i = 0; i < 100; ++i)
+    net.node(i).battery.consume(1e-4 * static_cast<double>(i % 37));
+  ReechMeProtocol proto(SectorMode::kOctant, 0.0, RadioModel{}, 0.0);
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const SectorGrid grid = SectorGrid::octants(net.domain());
+  for (const SensorNode& n : net.nodes()) {
+    if (!n.is_head) continue;
+    const auto s = grid.sector_of(n.pos);
+    for (const SensorNode& m : net.nodes()) {
+      if (grid.sector_of(m.pos) != s) continue;
+      EXPECT_LE(m.battery.residual(), n.battery.residual() + 1e-12)
+          << "node " << m.id << " outranks head " << n.id;
+    }
+  }
+}
+
+TEST(ReechMeProtocol, MembersReportToTheirRegionHead) {
+  Rng rng(35);
+  Network net = test_network(rng, 100);
+  ReechMeProtocol proto(SectorMode::kOctant, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const SectorGrid grid = SectorGrid::octants(net.domain());
+  for (int src = 0; src < static_cast<int>(net.size()); ++src) {
+    if (net.node(src).is_head) continue;
+    const int target = proto.route(net, src, 4000.0, rng);
+    ASSERT_NE(target, kBaseStationId);
+    EXPECT_EQ(grid.sector_of(net.node(target).pos),
+              grid.sector_of(net.node(src).pos));
+  }
+}
+
+TEST(ReechMeProtocol, HeadsTrackEnergyTopologyAcrossRounds) {
+  Rng rng(36);
+  Network net = test_network(rng, 60);
+  ReechMeProtocol proto(SectorMode::kOctant, 0.0, RadioModel{});
+  EnergyLedger ledger;
+  proto.on_round_start(net, 0, rng, ledger);
+  const std::vector<int> first = net.head_ids();
+  // Drain round-0 heads hard: the next election must move off them.
+  for (const int h : first) net.node(h).battery.consume(0.4);
+  proto.on_round_start(net, 1, rng, ledger);
+  for (const int h : net.head_ids())
+    EXPECT_EQ(std::count(first.begin(), first.end(), h), 0);
+}
+
 TEST(Registry, AllNamesConstruct) {
   Rng rng(12);
   const Network net = test_network(rng);
@@ -182,6 +289,14 @@ TEST(Registry, AllNamesConstruct) {
     ASSERT_NE(proto, nullptr) << name;
     EXPECT_FALSE(proto->name().empty());
   }
+}
+
+TEST(Registry, CoversTheFullThirteenProtocolShelf) {
+  const std::vector<std::string> names = protocol_names();
+  EXPECT_EQ(names.size(), 13u);
+  for (const char* expected : {"q-leach", "reech-me", "leach-rlc"})
+    EXPECT_EQ(std::count(names.begin(), names.end(), expected), 1)
+        << expected;
 }
 
 TEST(Registry, UnknownNameThrows) {
