@@ -39,8 +39,11 @@ inline ExperimentConfig paper_config(double lambda) {
   cfg.seeds = seeds();
   cfg.protocol.qlec.total_rounds = cfg.sim.rounds;
   // QLEC_MAC=1 swaps every bench onto the contention-aware MAC sub-phase
-  // (DESIGN.md §14) without touching the bench code.
+  // (DESIGN.md §14) without touching the bench code; QLEC_ENV=1 likewise
+  // constructs the (default obstruction-free, hence value-neutral)
+  // propagation environment of DESIGN.md §16.
   cfg.sim.mac.enabled = env::mac();
+  cfg.sim.env.enabled = env::environment();
   return cfg;
 }
 

@@ -1,0 +1,166 @@
+// End-to-end sweep over the terrain-aware world library (DESIGN.md §16):
+// every examples/scenarios/worlds/*.json expands to its sweep grid and runs
+// through the declarative runner, one table block per world. Emits
+// BENCH_worlds.json (aggregate manifest of every cell) and world_sweep.csv.
+//
+//   ./build/bench/world_sweep [worlds-dir]
+//
+// Env knobs (src/util/env.hpp):
+//   QLEC_BENCH_SEEDS=<n>  replications per cell (default: the files' own)
+//   QLEC_BENCH_FAST=1     shrink the runs for the CI worlds-smoke job
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "config/runner.hpp"
+#include "util/csv.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace qlec;
+
+struct WorldResult {
+  std::string file;
+  config::RunManifest manifest;
+};
+
+std::vector<std::string> world_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+    if (entry.path().extension() == ".json")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void write_json(const std::string& path,
+                const std::vector<WorldResult>& worlds) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("bench"); j.value("worlds");
+  j.key("worlds");
+  j.begin_array();
+  for (const WorldResult& w : worlds) {
+    j.begin_object();
+    j.key("file"); j.value(w.file);
+    j.key("name"); j.value(w.manifest.name);
+    j.key("cells");
+    j.begin_array();
+    for (const config::CellResult& c : w.manifest.cells) {
+      const AggregatedMetrics& m = c.metrics;
+      j.begin_object();
+      j.key("label"); j.value(c.label.empty() ? "(base)" : c.label);
+      j.key("protocol"); j.value(m.protocol);
+      j.key("pdr_mean"); j.value(m.pdr.mean());
+      j.key("pdr_ci95"); j.value(m.pdr.ci95_halfwidth());
+      j.key("total_energy_mean"); j.value(m.total_energy.mean());
+      j.key("mean_latency"); j.value(m.mean_latency.mean());
+      j.key("heads_per_round"); j.value(m.heads_per_round.mean());
+      j.key("first_death_mean"); j.value(m.first_death.mean());
+      j.key("digests");
+      j.begin_array();
+      for (const std::string& d : c.digests) j.value(d);
+      j.end_array();
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::ofstream out(path);
+  out << j.str() << "\n";
+}
+
+void write_csv(const std::string& path,
+               const std::vector<WorldResult>& worlds) {
+  std::ofstream out(path);
+  CsvWriter w(out);
+  w.write_row(CsvRow{"world", "cell", "protocol", "pdr", "total_energy_j",
+                     "latency_slots", "heads_per_round", "first_death"});
+  for (const WorldResult& wr : worlds) {
+    for (const config::CellResult& c : wr.manifest.cells) {
+      const AggregatedMetrics& m = c.metrics;
+      w.write_row(CsvRow{wr.manifest.name,
+                         c.label.empty() ? "(base)" : c.label, m.protocol,
+                         fmt_double(m.pdr.mean(), 4),
+                         fmt_double(m.total_energy.mean(), 4),
+                         fmt_double(m.mean_latency.mean(), 2),
+                         fmt_double(m.heads_per_round.mean(), 2),
+                         fmt_double(m.first_death.mean(), 1)});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qlec;
+  const std::string dir =
+      argc > 1 ? argv[1] : std::string("examples/scenarios/worlds");
+  const std::vector<std::string> files = world_files(dir);
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "world_sweep: no *.json under %s (pass the worlds dir as "
+                 "argv[1])\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  // Fast mode pins the cheap knobs through the same --set path machinery
+  // the CLI uses, so the files themselves stay the full-size recipe.
+  std::vector<config::Override> overrides;
+  if (bench::fast_mode()) {
+    overrides.emplace_back("seeds", JsonValue::make_number(1.0));
+    overrides.emplace_back("sim.rounds", JsonValue::make_number(6.0));
+  }
+
+  const ExecPolicy exec = ExecPolicy::pool();
+  std::vector<WorldResult> worlds;
+  for (const std::string& file : files) {
+    const auto text = read_text_file(file);
+    if (!text) {
+      std::fprintf(stderr, "world_sweep: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    WorldResult wr;
+    wr.file = file;
+    try {
+      const config::ScenarioFile scenario = config::parse_scenario(*text);
+      wr.manifest =
+          config::run_grid(config::expand_grid(scenario, overrides), exec);
+      wr.manifest.name = scenario.name;
+    } catch (const config::ConfigError& e) {
+      std::fprintf(stderr, "world_sweep: %s: %s\n", file.c_str(), e.what());
+      return 2;
+    }
+    std::printf("=== %s (%zu cells) ===\n", wr.manifest.name.c_str(),
+                wr.manifest.cells.size());
+    TextTable t({"cell", "protocol", "PDR", "energy (J)", "latency",
+                 "heads/round", "FND"});
+    for (const config::CellResult& c : wr.manifest.cells) {
+      const AggregatedMetrics& m = c.metrics;
+      t.add_row({c.label.empty() ? "(base)" : c.label, m.protocol,
+                 fmt_pm(m.pdr.mean(), m.pdr.ci95_halfwidth(), 3),
+                 fmt_double(m.total_energy.mean(), 3),
+                 fmt_double(m.mean_latency.mean(), 1),
+                 fmt_double(m.heads_per_round.mean(), 1),
+                 fmt_double(m.first_death.mean(), 0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    worlds.push_back(std::move(wr));
+  }
+
+  write_json("BENCH_worlds.json", worlds);
+  write_csv("world_sweep.csv", worlds);
+  std::printf("wrote BENCH_worlds.json and world_sweep.csv (%zu worlds)\n",
+              worlds.size());
+  return 0;
+}

@@ -92,6 +92,16 @@ const EnumTable<ControllerKind>& controller_kind_table() {
   return t;
 }
 
+const EnumTable<TrajectoryKind>& trajectory_table() {
+  static const EnumTable<TrajectoryKind> t = {
+      {TrajectoryKind::kNone, trajectory_kind_name(TrajectoryKind::kNone)},
+      {TrajectoryKind::kWaypoint,
+       trajectory_kind_name(TrajectoryKind::kWaypoint)},
+      {TrajectoryKind::kOrbit, trajectory_kind_name(TrajectoryKind::kOrbit)},
+  };
+  return t;
+}
+
 const EnumTable<Deployment>& deployment_table() {
   static const EnumTable<Deployment> t = {
       {Deployment::kUniform, deployment_name(Deployment::kUniform)},
@@ -241,6 +251,62 @@ void write_telemetry(JsonWriter& w, const obs::TelemetryOptions& t) {
   w.end_object();
 }
 
+void write_env(JsonWriter& w, const EnvConfig& e) {
+  w.begin_object();
+  w.key("enabled"); w.value(e.enabled);
+  w.key("atten_per_unit"); w.value(e.atten_per_unit);
+  w.key("sever_depth"); w.value(e.sever_depth);
+  w.key("obstacles");
+  w.begin_array();
+  for (const EnvObstacle& o : e.obstacles) {
+    w.begin_object();
+    w.key("box");
+    write_aabb(w, o.box);
+    w.key("extra_atten"); w.value(o.extra_atten);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("terrain");
+  w.begin_object();
+  w.key("enabled"); w.value(e.terrain.enabled);
+  w.key("amplitude_frac"); w.value(e.terrain.amplitude_frac);
+  w.key("base_frac"); w.value(e.terrain.base_frac);
+  w.end_object();
+  w.key("water");
+  w.begin_object();
+  w.key("enabled"); w.value(e.water.enabled);
+  w.key("surface_frac"); w.value(e.water.surface_frac);
+  w.key("alpha_per_unit"); w.value(e.water.alpha_per_unit);
+  w.key("amp_depth_scale"); w.value(e.water.amp_depth_scale);
+  w.end_object();
+  w.key("harvest");
+  w.begin_object();
+  w.key("per_round"); w.value(e.harvest.per_round);
+  w.key("depth_decay"); w.value(e.harvest.depth_decay);
+  w.key("min_factor"); w.value(e.harvest.min_factor);
+  w.end_object();
+  w.end_object();
+}
+
+void write_bs_trajectory(JsonWriter& w, const BsTrajectoryConfig& t) {
+  w.begin_object();
+  w.key("trajectory");
+  w.begin_object();
+  w.key("kind"); w.value(trajectory_kind_name(t.kind));
+  w.key("waypoints");
+  w.begin_array();
+  for (const Vec3& p : t.waypoints) write_vec3(w, p);
+  w.end_array();
+  w.key("speed"); w.value(t.speed);
+  w.key("loop"); w.value(t.loop);
+  w.key("orbit_center");
+  write_vec3(w, t.orbit_center);
+  w.key("orbit_radius"); w.value(t.orbit_radius);
+  w.key("orbit_period"); w.value(t.orbit_period);
+  w.end_object();
+  w.end_object();
+}
+
 void write_sim(JsonWriter& w, const SimConfig& s) {
   w.begin_object();
   w.key("rounds"); w.value(s.rounds);
@@ -283,6 +349,7 @@ void write_sim(JsonWriter& w, const SimConfig& s) {
   w.key("duty_cycle"); w.value(s.mac.duty_cycle);
   w.key("idle_j_per_subslot"); w.value(s.mac.idle_j_per_subslot);
   w.end_object();
+  w.key("env"); write_env(w, s.env);
   w.key("exec");
   w.begin_object();
   w.key("shards"); w.value(s.exec.shards);
@@ -475,6 +542,83 @@ obs::TelemetryOptions read_telemetry(const JsonValue& v,
   return out;
 }
 
+EnvConfig read_env(const JsonValue& v, const std::string& path,
+                   EnvConfig out) {
+  ObjectReader r(v, path);
+  r.boolean("enabled", out.enabled);
+  r.number("atten_per_unit", out.atten_per_unit, 0.0);
+  r.number("sever_depth", out.sever_depth, 0.0);
+  if (const JsonValue* j = r.find("obstacles")) {
+    if (!j->is_array())
+      throw ConfigError(r.sub("obstacles"),
+                        "expected array, got " + describe(*j));
+    out.obstacles.clear();
+    for (std::size_t i = 0; i < j->size(); ++i) {
+      const std::string opath =
+          r.sub("obstacles") + "[" + std::to_string(i) + "]";
+      ObjectReader o(j->at(i), opath);
+      EnvObstacle ob;
+      if (const JsonValue* b = o.find("box"))
+        ob.box = read_aabb(*b, o.sub("box"), ob.box);
+      o.number("extra_atten", ob.extra_atten, 0.0);
+      o.finish();
+      out.obstacles.push_back(ob);
+    }
+  }
+  if (const JsonValue* j = r.find("terrain")) {
+    ObjectReader t(*j, r.sub("terrain"));
+    t.boolean("enabled", out.terrain.enabled);
+    t.number("amplitude_frac", out.terrain.amplitude_frac, 0.0);
+    t.number("base_frac", out.terrain.base_frac, 0.0, 1.0);
+    t.finish();
+  }
+  if (const JsonValue* j = r.find("water")) {
+    ObjectReader wa(*j, r.sub("water"));
+    wa.boolean("enabled", out.water.enabled);
+    wa.number("surface_frac", out.water.surface_frac, 0.0, 1.0);
+    wa.number("alpha_per_unit", out.water.alpha_per_unit, 0.0);
+    wa.number("amp_depth_scale", out.water.amp_depth_scale, 0.0);
+    wa.finish();
+  }
+  if (const JsonValue* j = r.find("harvest")) {
+    ObjectReader h(*j, r.sub("harvest"));
+    h.number("per_round", out.harvest.per_round, 0.0);
+    h.number("depth_decay", out.harvest.depth_decay, 0.0);
+    h.number("min_factor", out.harvest.min_factor, 0.0, 1.0);
+    h.finish();
+  }
+  r.finish();
+  return out;
+}
+
+BsTrajectoryConfig read_bs_trajectory(const JsonValue& v,
+                                      const std::string& path,
+                                      BsTrajectoryConfig out) {
+  ObjectReader r(v, path);
+  if (const JsonValue* j = r.find("trajectory")) {
+    ObjectReader t(*j, r.sub("trajectory"));
+    enum_field(t, "kind", out.kind, trajectory_table());
+    if (const JsonValue* wp = t.find("waypoints")) {
+      if (!wp->is_array())
+        throw ConfigError(t.sub("waypoints"),
+                          "expected array, got " + describe(*wp));
+      out.waypoints.clear();
+      for (std::size_t i = 0; i < wp->size(); ++i)
+        out.waypoints.push_back(read_vec3(
+            wp->at(i), t.sub("waypoints") + "[" + std::to_string(i) + "]"));
+    }
+    t.number("speed", out.speed, 0.0);
+    t.boolean("loop", out.loop);
+    if (const JsonValue* c = t.find("orbit_center"))
+      out.orbit_center = read_vec3(*c, t.sub("orbit_center"));
+    t.number("orbit_radius", out.orbit_radius, 0.0);
+    t.int_field("orbit_period", out.orbit_period, 1);
+    t.finish();
+  }
+  r.finish();
+  return out;
+}
+
 SimConfig read_sim(const JsonValue& v, const std::string& path,
                    SimConfig out) {
   ObjectReader r(v, path);
@@ -528,6 +672,8 @@ SimConfig read_sim(const JsonValue& v, const std::string& path,
     m.number("idle_j_per_subslot", out.mac.idle_j_per_subslot, 0.0);
     m.finish();
   }
+  if (const JsonValue* j = r.find("env"))
+    out.env = read_env(*j, r.sub("env"), out.env);
   if (const JsonValue* j = r.find("exec")) {
     ObjectReader e(*j, r.sub("exec"));
     e.int_field("shards", out.exec.shards, 1);
@@ -639,6 +785,9 @@ void write_experiment(JsonWriter& w, const ExperimentConfig& cfg) {
   w.key("seeds"); w.value(cfg.seeds);
   w.key("base_seed"); w.value(static_cast<unsigned long long>(cfg.base_seed));
   w.key("deployment"); w.value(deployment_name(cfg.deployment));
+  // The mobile-sink block rides at the top level (it configures the BS,
+  // not a per-node simulation knob) but stores into sim.bs_trajectory.
+  w.key("bs"); write_bs_trajectory(w, cfg.sim.bs_trajectory);
   w.end_object();
 }
 
@@ -661,6 +810,9 @@ ExperimentConfig experiment_from_json(const JsonValue& v,
   r.size_field("seeds", out.seeds, 1);
   r.seed_field("base_seed", out.base_seed);
   enum_field(r, "deployment", out.deployment, deployment_table());
+  if (const JsonValue* j = r.find("bs"))
+    out.sim.bs_trajectory =
+        read_bs_trajectory(*j, r.sub("bs"), out.sim.bs_trajectory);
   r.finish();
   return out;
 }

@@ -14,6 +14,7 @@ const char* energy_use_name(EnergyUse u) {
     case EnergyUse::kIdle: return "idle";
     case EnergyUse::kFault: return "fault";
     case EnergyUse::kMac: return "mac";
+    case EnergyUse::kHarvest: return "harvest";
     case EnergyUse::kCount_: break;
   }
   return "?";
@@ -53,7 +54,8 @@ double EnergyLedger::node_total(int node) const noexcept {
 
 double EnergyLedger::total() const noexcept {
   double t = 0.0;
-  for (const double b : buckets_) t += b;
+  for (int i = 0; i < static_cast<int>(EnergyUse::kCount_); ++i)
+    if (i != static_cast<int>(EnergyUse::kHarvest)) t += buckets_[i];
   return t;
 }
 
@@ -67,14 +69,15 @@ double EnergyLedger::fraction(EnergyUse use) const noexcept {
 }
 
 std::string EnergyLedger::summary() const {
-  char buf[200];
+  char buf[240];
   std::snprintf(buf, sizeof buf,
                 "tx=%.6g rx=%.6g agg=%.6g ctl=%.6g idle=%.6g fault=%.6g "
-                "mac=%.6g total=%.6g J",
+                "mac=%.6g harvest=%.6g total=%.6g J",
                 by_use(EnergyUse::kTransmit), by_use(EnergyUse::kReceive),
                 by_use(EnergyUse::kAggregate), by_use(EnergyUse::kControl),
                 by_use(EnergyUse::kIdle), by_use(EnergyUse::kFault),
-                by_use(EnergyUse::kMac), total());
+                by_use(EnergyUse::kMac), by_use(EnergyUse::kHarvest),
+                total());
   return buf;
 }
 

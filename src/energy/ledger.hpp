@@ -19,6 +19,11 @@ enum class EnergyUse : int {
   kFault,    // battery-capacity fade injected by the fault layer (sim/fault)
   kMac,      // MAC-layer overhead when sim.mac is enabled: retransmissions
              // plus duty-cycle listening on the contention timeline
+  kHarvest,  // CREDIT bucket: joules restored by harvesting (the uniform
+             // harvest_per_round top-up and the sim/env depth-dependent
+             // harvester). Excluded from total() — total() is the drain
+             // side of the books; the SimAuditor reconciles this credit
+             // side against Battery::recharge separately.
   kCount_,
 };
 
@@ -42,6 +47,8 @@ class EnergyLedger {
   double node_total(int node) const noexcept;
   const std::vector<double>& per_node() const noexcept { return per_node_; }
 
+  /// Sum of every DRAIN bucket (kHarvest, the credit bucket, is excluded —
+  /// round-conservation audits compare this against battery drain).
   double total() const noexcept;
   double by_use(EnergyUse use) const noexcept;
   /// Fraction of the total attributed to `use` (0 when nothing charged).

@@ -27,6 +27,11 @@ class Network {
   std::size_t size() const noexcept { return nodes_.size(); }
   const Aabb& domain() const noexcept { return domain_; }
   const Vec3& bs() const noexcept { return bs_; }
+  /// Moves the sink (BsTrajectory advances it at round boundaries). Every
+  /// BS-distance consumer reads through bs()/dist_to_bs per round — the
+  /// QlecRouter y-memo is round-token-invalidated — so a moved sink is
+  /// visible immediately and nothing caches the old position.
+  void set_bs(const Vec3& bs) noexcept { bs_ = bs; }
 
   SensorNode& node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
   const SensorNode& node(int id) const {

@@ -90,6 +90,7 @@ void SimAuditor::begin_round(const Network& net, int round,
   round_ = round;
   residual_at_round_start_ = net.total_residual_energy();
   ledger_at_round_start_ = ledger.total();
+  harvest_bucket_at_round_start_ = ledger.by_use(EnergyUse::kHarvest);
   harvested_this_round_ = 0.0;
   node_residual_at_round_start_.resize(net.size());
   for (const SensorNode& n : net.nodes()) {
@@ -134,6 +135,7 @@ void SimAuditor::on_heads_elected(const Network& net,
 
 void SimAuditor::on_harvest(int node, double joules) noexcept {
   harvested_this_round_ += joules;
+  harvested_total_ += joules;
   if (node >= 0 &&
       static_cast<std::size_t>(node) < harvested_per_node_.size())
     harvested_per_node_[static_cast<std::size_t>(node)] += joules;
@@ -247,6 +249,16 @@ void SimAuditor::end_round(const Network& net, const EnergyLedger& ledger,
             fmt("round battery drain %.12g J != ledger charges %.12g J",
                 drained, charged));
 
+  // The kHarvest CREDIT bucket must advance by exactly what the batteries
+  // reported restored this round — the simulator credits every recharge.
+  const double credited =
+      ledger.by_use(EnergyUse::kHarvest) - harvest_bucket_at_round_start_;
+  if (std::fabs(credited - harvested_this_round_) >
+      energy_eps(std::max(credited, harvested_this_round_)))
+    violate(AuditKind::kEnergyConservation, round_, -1,
+            fmt("round harvest credits %.12g J != restored %.12g J",
+                credited, harvested_this_round_));
+
   check_energy_bounds(net, round_);
   check_per_node_ledger(net, ledger, round_);
   check_packet_conservation(partial, in_flight, round_);
@@ -275,6 +287,13 @@ void SimAuditor::finalize(const Network& net, const EnergyLedger& ledger,
   check_energy_bounds(net, -1);
   check_per_node_ledger(net, ledger, -1);
   check_fault_invariants(net, -1);
+  // Cumulative harvest books: every restored joule was credited once.
+  const double credited = ledger.by_use(EnergyUse::kHarvest);
+  if (std::fabs(credited - harvested_total_) >
+      energy_eps(std::max(credited, harvested_total_)))
+    violate(AuditKind::kEnergyConservation, -1, -1,
+            fmt("total harvest credits %.12g J != restored %.12g J",
+                credited, harvested_total_));
   report_.finalized = true;
 }
 

@@ -7,7 +7,9 @@
 //   (a) energy conservation — the joules drained from batteries in a round
 //       equal the EnergyLedger entries charged in that round (network-wide,
 //       harvest-corrected), every node's cumulative ledger total matches its
-//       battery delta, and no node's residual is negative or above capacity;
+//       battery delta, the EnergyUse::kHarvest credit bucket advances by
+//       exactly what Battery::recharge restored each round, and no node's
+//       residual is negative or above capacity;
 //   (b) packet conservation — generated == delivered + dropped (link loss,
 //       queue overflow, dead holder) + still-in-flight, per round and
 //       cumulatively;
@@ -148,7 +150,9 @@ class SimAuditor {
   double residual_at_round_start_ = 0.0;
   std::vector<double> node_residual_at_round_start_;
   double ledger_at_round_start_ = 0.0;
+  double harvest_bucket_at_round_start_ = 0.0;
   double harvested_this_round_ = 0.0;
+  double harvested_total_ = 0.0;
   std::vector<double> harvested_per_node_;  ///< cumulative, indexed by id
   std::size_t prev_alive_ = 0;
   bool have_prev_alive_ = false;

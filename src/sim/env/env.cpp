@@ -1,0 +1,219 @@
+#include "sim/env/env.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <utility>
+
+namespace qlec {
+namespace {
+
+/// Below this obstacle count the linear scan beats the grid (build cost +
+/// hash lookups); the two paths are bit-identical either way.
+constexpr std::size_t kGridMinObstacles = 9;
+
+/// Midpoint samples per segment for the terrain submersion test. The
+/// sample set { (i + 0.5) / K } is symmetric under t -> 1 - t, and the
+/// endpoints are canonicalized before sampling, so the terrain depth is
+/// exactly symmetric in (a, b).
+constexpr int kTerrainSamples = 16;
+
+/// Orders the segment endpoints lexicographically so every downstream
+/// float operation sees the same operands regardless of call direction.
+void canonicalize(Vec3& a, Vec3& b) {
+  const bool swap =
+      (b.x < a.x) ||
+      (b.x == a.x && (b.y < a.y || (b.y == a.y && b.z < a.z)));
+  if (swap) std::swap(a, b);
+}
+
+/// Path length of segment a—b (param length `len`) inside `box`, by slab
+/// clipping. 0 for a miss or a degenerate graze.
+double segment_box_overlap(const Vec3& a, const Vec3& b, const Aabb& box,
+                           double len) {
+  const double av[3] = {a.x, a.y, a.z};
+  const double bv[3] = {b.x, b.y, b.z};
+  const double lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+  const double hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+  double t0 = 0.0;
+  double t1 = 1.0;
+  for (int i = 0; i < 3; ++i) {
+    const double d = bv[i] - av[i];
+    if (d == 0.0) {
+      if (av[i] < lo[i] || av[i] > hi[i]) return 0.0;
+      continue;
+    }
+    double ta = (lo[i] - av[i]) / d;
+    double tb = (hi[i] - av[i]) / d;
+    if (ta > tb) std::swap(ta, tb);
+    if (ta > t0) t0 = ta;
+    if (tb < t1) t1 = tb;
+    if (t0 >= t1) return 0.0;
+  }
+  return (t1 - t0) * len;
+}
+
+/// The sample_terrain ridge function (geom/sampling.cpp): two crossed
+/// sinusoids over normalized (u, v).
+double ridge(double u, double v) {
+  return 0.5 * (std::sin(2.0 * std::numbers::pi * (2.0 * u + 0.3)) +
+                std::cos(2.0 * std::numbers::pi * (1.5 * v - 0.1)));
+}
+
+}  // namespace
+
+Environment::Environment(EnvConfig cfg, const Aabb& domain)
+    : cfg_(std::move(cfg)), domain_(domain) {
+  const double ez = domain_.extent().z;
+  surface_z_ = cfg_.water.enabled
+                   ? domain_.lo.z + cfg_.water.surface_frac * ez
+                   : domain_.hi.z;
+  all_indices_.resize(cfg_.obstacles.size());
+  std::iota(all_indices_.begin(), all_indices_.end(), std::size_t{0});
+  for (const EnvObstacle& o : cfg_.obstacles)
+    max_half_diag_ = std::max(max_half_diag_, 0.5 * o.box.extent().norm());
+  if (cfg_.obstacles.size() >= kGridMinObstacles && max_half_diag_ > 0.0) {
+    std::vector<Vec3> centers;
+    centers.reserve(cfg_.obstacles.size());
+    for (const EnvObstacle& o : cfg_.obstacles)
+      centers.push_back(o.box.center());
+    grid_ = std::make_unique<SpatialGrid>(centers, 2.0 * max_half_diag_);
+  }
+}
+
+Environment::Occlusion Environment::occlude(
+    Vec3 a, Vec3 b, const std::vector<std::size_t>& candidates) const {
+  canonicalize(a, b);
+  const double len = distance(a, b);
+  Occlusion occ;
+  if (len == 0.0) return occ;
+  for (const std::size_t i : candidates) {
+    const EnvObstacle& o = cfg_.obstacles[i];
+    const double d = segment_box_overlap(a, b, o.box, len);
+    if (d > 0.0) {
+      occ.depth += d;
+      occ.atten += (cfg_.atten_per_unit + o.extra_atten) * d;
+    }
+  }
+  if (cfg_.terrain.enabled) {
+    int below = 0;
+    for (int i = 0; i < kTerrainSamples; ++i) {
+      const double t = (static_cast<double>(i) + 0.5) /
+                       static_cast<double>(kTerrainSamples);
+      const Vec3 p = lerp(a, b, t);
+      if (p.z < terrain_height(p.x, p.y)) ++below;
+    }
+    if (below > 0) {
+      const double d = len * static_cast<double>(below) /
+                       static_cast<double>(kTerrainSamples);
+      occ.depth += d;
+      occ.atten += cfg_.atten_per_unit * d;
+    }
+  }
+  return occ;
+}
+
+double Environment::obstruction_depth(const Vec3& a, const Vec3& b) const {
+  if (grid_ == nullptr) return occlude(a, b, all_indices_).depth;
+  const Vec3 mid = (a + b) * 0.5;
+  const double radius = 0.5 * distance(a, b) + max_half_diag_;
+  grid_->query_into(mid, radius, scratch_);
+  // Ascending index order: candidate sums accumulate in the same order the
+  // brute path visits them, so the two are bit-identical (misses add 0).
+  std::sort(scratch_.begin(), scratch_.end());
+  return occlude(a, b, scratch_).depth;
+}
+
+double Environment::obstruction_depth_brute(const Vec3& a,
+                                            const Vec3& b) const {
+  return occlude(a, b, all_indices_).depth;
+}
+
+double Environment::link_factor(const Vec3& a, const Vec3& b) const {
+  Occlusion occ;
+  if (grid_ == nullptr) {
+    occ = occlude(a, b, all_indices_);
+  } else {
+    const Vec3 mid = (a + b) * 0.5;
+    const double radius = 0.5 * distance(a, b) + max_half_diag_;
+    grid_->query_into(mid, radius, scratch_);
+    std::sort(scratch_.begin(), scratch_.end());
+    occ = occlude(a, b, scratch_);
+  }
+  if (cfg_.sever_depth > 0.0 && occ.depth >= cfg_.sever_depth) return 0.0;
+  double atten = occ.atten;
+  if (cfg_.water.enabled && cfg_.water.alpha_per_unit > 0.0) {
+    double submerged = 0.0;
+    double mean_depth = 0.0;
+    water_clip(a, b, &submerged, &mean_depth);
+    atten += cfg_.water.alpha_per_unit * submerged;
+  }
+  // atten == 0 returns exactly 1.0 — the zero-obstruction world stays
+  // byte-identical to an env-disabled run.
+  return atten > 0.0 ? std::exp(-atten) : 1.0;
+}
+
+double Environment::tx_amp_factor(const Vec3& a, const Vec3& b) const {
+  if (!cfg_.water.enabled || cfg_.water.amp_depth_scale <= 0.0) return 1.0;
+  double submerged = 0.0;
+  double mean_depth = 0.0;
+  water_clip(a, b, &submerged, &mean_depth);
+  return mean_depth > 0.0 ? 1.0 + cfg_.water.amp_depth_scale * mean_depth
+                          : 1.0;
+}
+
+double Environment::harvest_rate(const Vec3& p) const {
+  if (cfg_.harvest.per_round <= 0.0) return 0.0;
+  double depth = 0.0;
+  if (cfg_.water.enabled) {
+    depth = std::max(0.0, surface_z_ - p.z);
+  } else if (cfg_.terrain.enabled) {
+    depth = std::max(0.0, terrain_height(p.x, p.y) - p.z);
+  }
+  double factor = 1.0;
+  if (depth > 0.0 && cfg_.harvest.depth_decay > 0.0)
+    factor = std::max(cfg_.harvest.min_factor,
+                      std::exp(-cfg_.harvest.depth_decay * depth));
+  return cfg_.harvest.per_round * factor;
+}
+
+double Environment::terrain_height(double x, double y) const {
+  if (!cfg_.terrain.enabled) return domain_.lo.z;
+  const Vec3 e = domain_.extent();
+  const double u = (x - domain_.lo.x) / (e.x > 0 ? e.x : 1.0);
+  const double v = (y - domain_.lo.y) / (e.y > 0 ? e.y : 1.0);
+  return domain_.lo.z + cfg_.terrain.base_frac * e.z +
+         cfg_.terrain.amplitude_frac * e.z * ridge(u, v);
+}
+
+void Environment::water_clip(const Vec3& a_in, const Vec3& b_in,
+                             double* submerged_len,
+                             double* mean_depth) const {
+  *submerged_len = 0.0;
+  *mean_depth = 0.0;
+  if (!cfg_.water.enabled) return;
+  Vec3 a = a_in;
+  Vec3 b = b_in;
+  canonicalize(a, b);
+  const double len = distance(a, b);
+  const double da = surface_z_ - a.z;  // endpoint depths (positive = under)
+  const double db = surface_z_ - b.z;
+  if (da <= 0.0 && db <= 0.0) return;
+  if (da >= 0.0 && db >= 0.0) {
+    *submerged_len = len;
+    *mean_depth = 0.5 * (da + db);
+    return;
+  }
+  // One endpoint above, one below: the linear depth crosses zero at t*.
+  const double t_star = da / (da - db);
+  if (da > 0.0) {
+    *submerged_len = len * t_star;
+    *mean_depth = 0.5 * da * t_star;
+  } else {
+    *submerged_len = len * (1.0 - t_star);
+    *mean_depth = 0.5 * db * (1.0 - t_star);
+  }
+}
+
+}  // namespace qlec

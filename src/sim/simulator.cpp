@@ -82,10 +82,22 @@ class SimRun {
       mac_.emplace(cfg.mac, rng.next_u64() ^ cfg.mac.seed);
       result_.mac.enabled = true;
     }
+    if (cfg.env.enabled) {
+      // The environment is RNG-free by construction (a pure function of
+      // geometry), so unlike fault/mac it folds nothing into any seed and
+      // the main stream is untouched whether it is on or off.
+      env_.emplace(cfg.env, net.domain());
+    }
+    if (cfg.bs_trajectory.kind != TrajectoryKind::kNone) {
+      // Also RNG-free: the sink advances along a closed-form path at round
+      // boundaries on the main thread, so shard invariance is untouched.
+      traj_.emplace(cfg.bs_trajectory, net.bs());
+    }
     if (cfg.audit.enabled) {
       result_.energy.enable_per_node(n);
       auditor_.emplace(net, cfg.death_line, flat_,
-                       cfg.harvest_per_round > 0.0,
+                       cfg.harvest_per_round > 0.0 ||
+                           (cfg.env.enabled && cfg.env.harvest.per_round > 0.0),
                        cfg.audit.throw_on_violation, cfg.fault.enabled);
     }
     if (cfg.telemetry.enabled) {
@@ -191,14 +203,16 @@ class SimRun {
   // MacEngine::resolve call plays out; round-end uplink chains advance one
   // hop per contention phase. ----
 
-  /// Per-attempt channel success probability toward `target` over distance
-  /// `d`, folding in any active fault link-degradation episode (the MAC
-  /// engine draws the Bernoulli from its own stream).
-  double mac_link_p(int target, double d) const {
+  /// Per-attempt channel success probability for `src` toward `target`
+  /// over distance `d`, folding in any active fault link-degradation
+  /// episode and the environment's obstruction factor (the MAC engine
+  /// draws the Bernoulli from its own stream).
+  double mac_link_p(int src, int target, double d) const {
     double p = target == kBaseStationId
                    ? cfg_.link.bs_success_probability(d)
                    : cfg_.link.success_probability(d);
     if (fault_ && fault_->link_factor() < 1.0) p *= fault_->link_factor();
+    if (env_) p *= env_scale(src, target);
     return p;
   }
 
@@ -214,8 +228,8 @@ class SimRun {
     f.target = target;
     f.tag = static_cast<std::uint32_t>(mac_payload_.size());
     f.bits = p.bits;
-    f.tx_j = radio_.tx_energy(p.bits, d);
-    f.link_p = mac_link_p(target, d);
+    f.tx_j = tx_energy(src, target, p.bits, d);
+    f.link_p = mac_link_p(src, target, d);
     f.src_pos = rs_.pos[static_cast<std::size_t>(src)];
     f.dst_pos = target == kBaseStationId
                     ? bs_
@@ -409,20 +423,52 @@ class SimRun {
     result_.latency.add(static_cast<double>(p.latency()));
   }
 
-  /// Channel attempt to a node target, scaled by any active link-quality
-  /// degradation episode. Outside an episode the exact pre-fault code path
-  /// runs, so the Bernoulli compare — and the trace — is bit-identical.
-  bool link_attempt(double d) {
-    if (!fault_ || fault_->link_factor() >= 1.0)
-      return cfg_.link.attempt(d, rng_);
-    return rng_.bernoulli(cfg_.link.success_probability(d) *
-                          fault_->link_factor());
+  /// Environment success-probability factor for the src -> target line of
+  /// sight (1.0 with the environment off — and, critically, 1.0 EXACTLY
+  /// for a zero-obstruction enabled world, which keeps the unscaled branch
+  /// below and byte-identical traces).
+  double env_scale(int src, int target) const {
+    if (!env_) return 1.0;
+    const Vec3& a = rs_.pos[static_cast<std::size_t>(src)];
+    const Vec3& b = target == kBaseStationId
+                        ? bs_
+                        : rs_.pos[static_cast<std::size_t>(target)];
+    return env_->link_factor(a, b);
   }
-  bool link_attempt_bs(double d) {
-    if (!fault_ || fault_->link_factor() >= 1.0)
-      return cfg_.link.attempt_bs(d, rng_);
-    return rng_.bernoulli(cfg_.link.bs_success_probability(d) *
-                          fault_->link_factor());
+
+  /// Transmission cost src -> target: the radio model's tx_energy, with
+  /// only the AMPLIFIER part scaled up for submerged links (underwater
+  /// acoustics; the electronics cost is depth-independent). Factor 1.0
+  /// reproduces radio_.tx_energy bit-for-bit.
+  double tx_energy(int src, int target, double bits, double d) const {
+    const double e = radio_.tx_energy(bits, d);
+    if (!env_) return e;
+    const Vec3& a = rs_.pos[static_cast<std::size_t>(src)];
+    const Vec3& b = target == kBaseStationId
+                        ? bs_
+                        : rs_.pos[static_cast<std::size_t>(target)];
+    const double f = env_->tx_amp_factor(a, b);
+    if (f <= 1.0) return e;
+    return e + (f - 1.0) * radio_.amp_energy(bits, d);
+  }
+
+  /// Channel attempt to a node target, scaled by any active link-quality
+  /// degradation episode and the environment's obstruction factor. With
+  /// both at exactly 1.0 the pre-fault/pre-env code path runs, so the
+  /// Bernoulli compare — and the trace — is bit-identical; a scaled
+  /// attempt still consumes exactly one draw (severed links included),
+  /// keeping the main stream aligned with the unscaled run.
+  bool link_attempt(int src, int target, double d) {
+    double scale = env_scale(src, target);
+    if (fault_) scale *= fault_->link_factor();
+    if (scale >= 1.0) return cfg_.link.attempt(d, rng_);
+    return rng_.bernoulli(cfg_.link.success_probability(d) * scale);
+  }
+  bool link_attempt_bs(int src, double d) {
+    double scale = env_scale(src, kBaseStationId);
+    if (fault_) scale *= fault_->link_factor();
+    if (scale >= 1.0) return cfg_.link.attempt_bs(d, rng_);
+    return rng_.bernoulli(cfg_.link.bs_success_probability(d) * scale);
   }
   /// False while a fault-injected BS outage window is active.
   bool bs_up() const { return !fault_ || fault_->bs_up(); }
@@ -437,9 +483,14 @@ class SimRun {
   PoissonTraffic traffic_;
   MobilityModel mobility_;
   SimResult result_;
-  const Vec3 bs_;
+  /// Current BS position. Static by default; a BsTrajectory rewrites it at
+  /// the top of every round (together with net_.set_bs) before any phase
+  /// reads a distance, so the whole round sees one consistent sink.
+  Vec3 bs_;
 
   std::optional<SimAuditor> auditor_;  // engaged when cfg.audit.enabled
+  std::optional<Environment> env_;     // engaged when cfg.env.enabled
+  std::optional<BsTrajectory> traj_;   // engaged when a trajectory is set
 
   // Engaged when cfg.telemetry.enabled; all instrumented sites below guard
   // on these pointers, so the disabled path costs one null test each.
@@ -534,7 +585,7 @@ void SimRun::deliver_from(int src, Packet p) {
     if (attempt > 0 && telemetry_ != nullptr)
       note_retry(src, target, attempt);
     const double d = dist(src, target);
-    charge(src, EnergyUse::kTransmit, radio_.tx_energy(p.bits, d));
+    charge(src, EnergyUse::kTransmit, tx_energy(src, target, p.bits, d));
     ++p.hops;
     // A BS in an outage window behaves like a down relay: the sender pays
     // for the attempt and gets no ACK (no channel draw — the receiver is
@@ -542,8 +593,8 @@ void SimRun::deliver_from(int src, Packet p) {
     const bool target_up =
         target == kBaseStationId ? bs_up() : alive(target);
     const bool link_ok =
-        target_up && (target == kBaseStationId ? link_attempt_bs(d)
-                                               : link_attempt(d));
+        target_up && (target == kBaseStationId ? link_attempt_bs(src, d)
+                                               : link_attempt(src, target, d));
     last_fail_bs_outage = target == kBaseStationId && !target_up;
     last_fail_down_target =
         target != kBaseStationId && !target_up && fault_down(target);
@@ -606,11 +657,12 @@ void SimRun::deliver_aggregate(int head, HeadBuffer& buf) {
     for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
       if (attempt > 0 && telemetry_ != nullptr) retries_->inc();
       const double d = dist(holder, target);
-      charge(holder, EnergyUse::kTransmit, radio_.tx_energy(buf.bits, d));
+      charge(holder, EnergyUse::kTransmit,
+             tx_energy(holder, target, buf.bits, d));
       target_up = target == kBaseStationId ? bs_up() : alive(target);
       success = target_up && (target == kBaseStationId
-                                  ? link_attempt_bs(d)
-                                  : link_attempt(d));
+                                  ? link_attempt_bs(holder, d)
+                                  : link_attempt(holder, target, d));
       if (target == kBaseStationId) {
         protocol_.on_uplink_result(net_, holder, success);
       } else {
@@ -688,8 +740,8 @@ void SimRun::mac_deliver_uplinks(const std::vector<int>& heads) {
       f.target = target;
       f.tag = static_cast<std::uint32_t>(mac_chains_.size());
       f.bits = buf.bits;
-      f.tx_j = radio_.tx_energy(buf.bits, d);
-      f.link_p = mac_link_p(target, d);
+      f.tx_j = tx_energy(c.holder, target, buf.bits, d);
+      f.link_p = mac_link_p(c.holder, target, d);
       f.src_pos = rs_.pos[static_cast<std::size_t>(c.holder)];
       f.dst_pos = target == kBaseStationId
                       ? bs_
@@ -754,6 +806,14 @@ SimResult SimRun::run() {
     // maintenance child phases below (Chrome trace "X" events reconstruct
     // the hierarchy from containment on one track).
     obs::PhaseTimer round_span(tracer_, "round");
+    // A mobile sink advances FIRST, on the main thread: everything this
+    // round — routing distances, link draws, the QlecRouter y-memo (whose
+    // round tokens invalidate below in on_round_start) — sees the new
+    // position, and no Rng is consulted, so stream alignment holds.
+    if (traj_) {
+      bs_ = traj_->position(round);
+      net_.set_bs(bs_);
+    }
     // Faults fire strictly at the round boundary, before the auditor
     // snapshots state and before election — so every downstream phase (and
     // the auditor's down-at-round-start view) sees a consistent topology.
@@ -950,10 +1010,19 @@ SimResult SimRun::run() {
     phase.emplace(tracer_, "maintenance");
     // Fault-down nodes can't run their harvester either — their batteries
     // stay exactly frozen for the whole down window (audit invariant d2).
-    if (cfg_.harvest_per_round > 0.0) {
+    // Every restored joule is credited to the EnergyUse::kHarvest bucket
+    // (a CREDIT entry, excluded from EnergyLedger::total, charged without
+    // node attribution so per-node books stay drain-only) and reported to
+    // the auditor, which reconciles bucket-vs-restored per round.
+    const bool env_harvest = env_ && env_->harvest_active();
+    if (cfg_.harvest_per_round > 0.0 || env_harvest) {
       for (SensorNode& node : net_.nodes()) {
         if (!node.operational(cfg_.death_line)) continue;
-        const double restored = node.battery.recharge(cfg_.harvest_per_round);
+        double amount = cfg_.harvest_per_round;
+        if (env_harvest) amount += env_->harvest_rate(node.pos);
+        if (amount <= 0.0) continue;
+        const double restored = node.battery.recharge(amount);
+        result_.energy.charge(EnergyUse::kHarvest, restored);
         sync_battery(node.id, node.battery);
         if (auditor_) auditor_->on_harvest(node.id, restored);
       }

@@ -12,6 +12,8 @@
 #include "net/mobility.hpp"
 #include "net/network.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/env/env.hpp"
+#include "sim/env/trajectory.hpp"
 #include "sim/fault/fault.hpp"
 #include "sim/mac/mac.hpp"
 #include "sim/metrics.hpp"
@@ -99,6 +101,18 @@ struct SimConfig {
   /// with retransmit + duty-cycle energy in EnergyUse::kMac; max_retries
   /// above is superseded by mac.max_retries on the MAC path.
   MacConfig mac;
+  /// Terrain-aware propagation environment (sim/env, DESIGN.md §16).
+  /// Disabled by default: no Environment is constructed, no Rng draw
+  /// happens, and every golden-trace digest is bit-identical. Enabled,
+  /// obstructed links attenuate or sever (one Bernoulli draw per attempt
+  /// either way), underwater links scale the amp-energy cost, and the
+  /// depth-aware harvester credits EnergyUse::kHarvest per round.
+  EnvConfig env;
+  /// Mobile base-station / data-mule trajectory (sim/env/trajectory,
+  /// DESIGN.md §16), advanced at round boundaries on the main thread.
+  /// kind == none (the default) leaves the BS static and every digest
+  /// bit-identical. Serialized as the top-level "bs.trajectory" block.
+  BsTrajectoryConfig bs_trajectory;
   /// Intra-round sharding (util/exec.hpp, DESIGN.md §12). shards > 1 fans
   /// the RNG-free round phases over an internal thread pool; every shard
   /// count — including 1, the default serial core — produces bit-identical

@@ -234,6 +234,78 @@ TEST(ConfigErrors, MutationFuzzValidDocumentNeverCrashes) {
   EXPECT_GT(rejected, 400) << "accepted " << accepted << " mutants";
 }
 
+TEST(ConfigErrors, EnvBlockValidated) {
+  // Every sim.env.* knob: wrong types, out-of-domain values, unknown keys,
+  // and indexed obstacle paths — all anchored at the exact offending node.
+  expect_rejected(R"({"sim": {"env": []}})", "sim.env",
+                  "expected object, got array");
+  expect_rejected(R"({"sim": {"env": {"enabled": "on"}}})",
+                  "sim.env.enabled", "expected true or false, got \"on\"");
+  expect_rejected(R"({"sim": {"env": {"atten_per_unit": -0.1}}})",
+                  "sim.env.atten_per_unit", "number ≥ 0, got -0.1");
+  expect_rejected(R"({"sim": {"env": {"sever_depth": -5}}})",
+                  "sim.env.sever_depth", "number ≥ 0");
+  expect_rejected(R"({"sim": {"env": {"obstacles": {}}}})",
+                  "sim.env.obstacles", "expected array, got object");
+  expect_rejected(
+      R"({"sim": {"env": {"obstacles": [{}, {"extra_atten": -1}]}}})",
+      "sim.env.obstacles[1].extra_atten", "number ≥ 0, got -1");
+  expect_rejected(
+      R"({"sim": {"env": {"obstacles": [{"box": {"lo": [1, 2]}}]}}})",
+      "sim.env.obstacles[0].box.lo", "[x, y, z]");
+  expect_rejected(
+      R"({"sim": {"env": {"obstacles": [{"cube": {}}]}}})",
+      "sim.env.obstacles[0].cube", "unknown key");
+  expect_rejected(R"({"sim": {"env": {"terrain": 1}}})", "sim.env.terrain",
+                  "expected object, got 1");
+  expect_rejected(R"({"sim": {"env": {"terrain": {"amplitude_frac": -1}}}})",
+                  "sim.env.terrain.amplitude_frac", "number ≥ 0, got -1");
+  expect_rejected(R"({"sim": {"env": {"terrain": {"base_frac": 1.5}}}})",
+                  "sim.env.terrain.base_frac",
+                  "expected number in [0, 1], got 1.5");
+  expect_rejected(R"({"sim": {"env": {"water": {"surface_frac": -0.2}}}})",
+                  "sim.env.water.surface_frac", "in [0, 1]");
+  expect_rejected(R"({"sim": {"env": {"water": {"alpha_per_unit": -1}}}})",
+                  "sim.env.water.alpha_per_unit", "number ≥ 0");
+  expect_rejected(R"({"sim": {"env": {"water": {"amp_depth_scale": -1}}}})",
+                  "sim.env.water.amp_depth_scale", "number ≥ 0");
+  expect_rejected(R"({"sim": {"env": {"harvest": {"per_round": -0.01}}}})",
+                  "sim.env.harvest.per_round", "number ≥ 0");
+  expect_rejected(R"({"sim": {"env": {"harvest": {"depth_decay": -1}}}})",
+                  "sim.env.harvest.depth_decay", "number ≥ 0");
+  expect_rejected(R"({"sim": {"env": {"harvest": {"min_factor": 2}}}})",
+                  "sim.env.harvest.min_factor",
+                  "expected number in [0, 1], got 2");
+  expect_rejected(R"({"sim": {"env": {"grid": true}}})", "sim.env.grid",
+                  "unknown key");
+}
+
+TEST(ConfigErrors, BsTrajectoryBlockValidated) {
+  expect_rejected(R"({"bs": 7})", "bs", "expected object, got 7");
+  expect_rejected(R"({"bs": {"placement": "corner"}})", "bs.placement",
+                  "unknown key");
+  expect_rejected(R"({"bs": {"trajectory": {"kind": "tour"}}})",
+                  "bs.trajectory.kind",
+                  "expected one of none|waypoint|orbit, got \"tour\"");
+  expect_rejected(R"({"bs": {"trajectory": {"waypoints": 3}}})",
+                  "bs.trajectory.waypoints", "expected array, got 3");
+  expect_rejected(
+      R"({"bs": {"trajectory": {"waypoints": [[0, 0, 0], [1, 2]]}}})",
+      "bs.trajectory.waypoints[1]", "[x, y, z] array of 3 finite numbers");
+  expect_rejected(R"({"bs": {"trajectory": {"speed": -1}}})",
+                  "bs.trajectory.speed", "number ≥ 0, got -1");
+  expect_rejected(R"({"bs": {"trajectory": {"loop": "yes"}}})",
+                  "bs.trajectory.loop", "expected true or false");
+  expect_rejected(R"({"bs": {"trajectory": {"orbit_center": "mid"}}})",
+                  "bs.trajectory.orbit_center", "[x, y, z]");
+  expect_rejected(R"({"bs": {"trajectory": {"orbit_radius": -2}}})",
+                  "bs.trajectory.orbit_radius", "number ≥ 0");
+  expect_rejected(R"({"bs": {"trajectory": {"orbit_period": 0}}})",
+                  "bs.trajectory.orbit_period", "integer ≥ 1, got 0");
+  expect_rejected(R"({"bs": {"trajectory": {"dwell": 2}}})",
+                  "bs.trajectory.dwell", "unknown key");
+}
+
 TEST(ConfigErrors, WhatIsPathColonProblem) {
   const ConfigError e("sim.fault.hazards.crash_per_node",
                       "expected number ≥ 0, got \"high\"");

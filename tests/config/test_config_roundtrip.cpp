@@ -126,6 +126,46 @@ ExperimentConfig random_config(Rng& rng) {
   c.sim.telemetry.trace_path = rng.bernoulli(0.5) ? "trace.json" : "";
   c.sim.telemetry.metrics_path = rng.bernoulli(0.5) ? "metrics.json" : "";
 
+  c.sim.env.enabled = rng.bernoulli(0.5);
+  c.sim.env.atten_per_unit = rng.uniform(0.0, 0.1);
+  c.sim.env.sever_depth = rng.uniform(0.0, 200.0);
+  const std::size_t obstacles = rng.uniform_int(std::uint64_t{4});
+  for (std::size_t i = 0; i < obstacles; ++i) {
+    EnvObstacle o;
+    o.box = Aabb{{rng.uniform(0, 100), rng.uniform(0, 100),
+                  rng.uniform(0, 100)},
+                 {rng.uniform(100, 200), rng.uniform(100, 200),
+                  rng.uniform(100, 200)}};
+    o.extra_atten = rng.uniform(0.0, 0.05);
+    c.sim.env.obstacles.push_back(o);
+  }
+  c.sim.env.terrain.enabled = rng.bernoulli(0.5);
+  c.sim.env.terrain.amplitude_frac = rng.uniform(0.0, 1.0);
+  c.sim.env.terrain.base_frac = rng.uniform01();
+  c.sim.env.water.enabled = rng.bernoulli(0.5);
+  c.sim.env.water.surface_frac = rng.uniform01();
+  c.sim.env.water.alpha_per_unit = rng.uniform(0.0, 0.05);
+  c.sim.env.water.amp_depth_scale = rng.uniform(0.0, 0.05);
+  c.sim.env.harvest.per_round = rng.uniform(0.0, 0.1);
+  c.sim.env.harvest.depth_decay = rng.uniform(0.0, 0.2);
+  c.sim.env.harvest.min_factor = rng.uniform01();
+
+  c.sim.bs_trajectory.kind =
+      pick(rng, {TrajectoryKind::kNone, TrajectoryKind::kWaypoint,
+                 TrajectoryKind::kOrbit});
+  const std::size_t waypoints = rng.uniform_int(std::uint64_t{5});
+  for (std::size_t i = 0; i < waypoints; ++i)
+    c.sim.bs_trajectory.waypoints.push_back(
+        {rng.uniform(0, 200), rng.uniform(0, 200), rng.uniform(0, 200)});
+  c.sim.bs_trajectory.speed = rng.uniform(0.0, 50.0);
+  c.sim.bs_trajectory.loop = rng.bernoulli(0.5);
+  c.sim.bs_trajectory.orbit_center = {rng.uniform(0, 200),
+                                      rng.uniform(0, 200),
+                                      rng.uniform(0, 200)};
+  c.sim.bs_trajectory.orbit_radius = rng.uniform(0.0, 100.0);
+  c.sim.bs_trajectory.orbit_period =
+      1 + static_cast<int>(rng.uniform_int(std::uint64_t{12}));
+
   c.protocol.name = pick<std::string>(
       rng, {"qlec", "kmeans", "fcm", "leach", "deec", "heed", "ideec",
             "tl-leach", "qelar", "direct", "q-leach", "reech-me",
@@ -253,6 +293,23 @@ TEST(ConfigRoundTrip, PathologicalStringsSurviveEscaping) {
   EXPECT_EQ(parse_experiment(experiment_to_json(cfg)), cfg);
 }
 
+TEST(ConfigRoundTrip, TrajectoryKindCornersSurvive) {
+  for (const auto kind : {TrajectoryKind::kNone, TrajectoryKind::kWaypoint,
+                          TrajectoryKind::kOrbit}) {
+    ExperimentConfig cfg;
+    cfg.sim.bs_trajectory.kind = kind;
+    cfg.sim.bs_trajectory.waypoints = {{0, 0, 0}, {200, 200, 200}};
+    cfg.sim.bs_trajectory.loop = true;
+    EXPECT_EQ(parse_experiment(experiment_to_json(cfg)), cfg)
+        << trajectory_kind_name(kind);
+  }
+  // An empty waypoint list must survive too (orbit configs carry none).
+  ExperimentConfig cfg;
+  cfg.sim.bs_trajectory.kind = TrajectoryKind::kOrbit;
+  cfg.sim.bs_trajectory.waypoints.clear();
+  EXPECT_EQ(parse_experiment(experiment_to_json(cfg)), cfg);
+}
+
 TEST(ConfigRoundTrip, EnumNamesAreBijective) {
   EXPECT_STREQ(bs_placement_name(BsPlacement::kTopFaceCenter),
                "top_face_center");
@@ -261,6 +318,8 @@ TEST(ConfigRoundTrip, EnumNamesAreBijective) {
                "random_waypoint");
   EXPECT_STREQ(telemetry_sink_name(obs::TelemetryOptions::Sink::kFile),
                "file");
+  EXPECT_STREQ(trajectory_kind_name(TrajectoryKind::kWaypoint), "waypoint");
+  EXPECT_STREQ(trajectory_kind_name(TrajectoryKind::kOrbit), "orbit");
 }
 
 }  // namespace

@@ -73,6 +73,53 @@ TEST(JobKey, AnyConfigDeltaChangesTheKey) {
   EXPECT_NE(job_key(base.config), job_key(tiny_cell("direct").config));
 }
 
+TEST(JobKey, EnvironmentAndTrajectoryKnobsShiftTheKey) {
+  // sim.env.* and bs.trajectory.* are simulation-relevant (digests diverge
+  // once enabled), so every knob must shift the key even while the block
+  // defaults are inert.
+  const SweepCell base = tiny_cell();
+  SweepCell other = tiny_cell();
+  other.config.sim.env.enabled = true;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.env.atten_per_unit += 0.01;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.env.obstacles.push_back(
+      EnvObstacle{Aabb{{0, 0, 0}, {50, 50, 50}}, 0.0});
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.env.terrain.enabled = true;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.env.water.surface_frac = 0.5;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.env.harvest.per_round = 0.02;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.bs_trajectory.kind = TrajectoryKind::kOrbit;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.bs_trajectory.orbit_period = 7;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.bs_trajectory.waypoints.push_back({10, 10, 10});
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+
+  other = tiny_cell();
+  other.config.sim.bs_trajectory.speed = 12.5;
+  EXPECT_NE(job_key(base.config), job_key(other.config));
+}
+
 TEST(JobKey, CodeVersionDeltaChangesTheKey) {
   const SweepCell cell = tiny_cell();
   EXPECT_NE(job_key(cell.config, kCodeVersion),

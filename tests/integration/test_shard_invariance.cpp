@@ -122,6 +122,35 @@ TEST(ShardInvariance, TelemetryAndAuditRunsAreShardCountInvariant) {
     EXPECT_EQ(digests_for("qlec", cfg, shards), serial) << shards;
 }
 
+TEST(ShardInvariance, TerrainWorldDigestsAreShardCountInvariant) {
+  // The full environment stack at once — terrain + obstacle occlusion,
+  // underwater amp scaling, depth-decayed harvesting, and an orbiting
+  // sink — on top of the audited sharded core. Env and trajectory are
+  // RNG-free pure functions of geometry and the round index, so the
+  // shard decomposition must not perturb a terrain-aware world either.
+  ExperimentConfig cfg = golden_config();
+  cfg.sim.audit.enabled = true;
+  cfg.sim.audit.throw_on_violation = true;
+  cfg.sim.env.enabled = true;
+  cfg.sim.env.atten_per_unit = 0.015;
+  cfg.sim.env.sever_depth = 120.0;
+  cfg.sim.env.obstacles.push_back(
+      EnvObstacle{Aabb{{40, 40, 0}, {120, 120, 160}}, 0.01});
+  cfg.sim.env.terrain = EnvTerrain{true, 0.25, 0.5};
+  cfg.sim.env.water = EnvWater{true, 0.9, 0.002, 0.005};
+  cfg.sim.env.harvest = EnvHarvest{0.01, 0.02, 0.1};
+  cfg.sim.bs_trajectory.kind = TrajectoryKind::kOrbit;
+  cfg.sim.bs_trajectory.orbit_center = {100, 100, 190};
+  cfg.sim.bs_trajectory.orbit_radius = 60.0;
+  cfg.sim.bs_trajectory.orbit_period = 4;
+  for (const std::string& name : {std::string("qlec"), std::string("leach")}) {
+    const std::vector<std::string> serial = digests_for(name, cfg, 1);
+    for (const int shards : kShardCounts)
+      EXPECT_EQ(digests_for(name, cfg, shards), serial)
+          << name << " at shards=" << shards;
+  }
+}
+
 TEST(ShardInvariance, ShardedRerunsAreBitIdentical) {
   // Same shard count twice: the pool schedule varies between runs, the
   // digests must not.
